@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every module in ``benchmarks/`` regenerates one table or figure of the paper
+(see DESIGN.md for the experiment index).  Each benchmark runs the experiment
+once under ``pytest-benchmark`` (pedantic mode, a single round — the quantity
+of interest is the experiment output, not micro-timing), prints the formatted
+table/figure so it lands in the benchmark log, and asserts the qualitative
+shape the paper reports.
+
+Run the whole suite with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark fixture and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a formatted experiment artefact so it is visible with ``-s`` / in logs."""
+
+    def _report(title: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{'=' * 78}\n{title}\n{'=' * 78}\n{text}")
+
+    return _report

@@ -1,0 +1,87 @@
+"""Ablation — where the clipping/noise is applied: per example vs per client.
+
+This isolates the paper's central design decision.  Fed-CDP clips and noises
+*per-example* gradients inside local training (Algorithm 2), Fed-SDP clips and
+noises only the *per-client* round update (Algorithm 1).  Holding every other
+parameter fixed, the ablation measures both the utility (validation accuracy)
+and the type-2 resilience (reconstruction distance of the per-example leakage
+surface) of the two granularities, plus a "clip-only" Fed-CDP variant
+(noise_scale = 0) that separates the effect of clipping from the effect of
+noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.attacks import AttackConfig, GradientLeakageThreat
+from repro.core import make_trainer
+from repro.data import generate_dataset, get_dataset_spec
+from repro.experiments import bench_config, format_table
+from repro.federated import FederatedSimulation
+from repro.nn import build_model_for_dataset
+
+
+def _run_ablation(seed: int = 0):
+    rows = []
+    spec = get_dataset_spec("mnist")
+    attack_data = generate_dataset(spec, 4, seed=seed)
+    attack_config = AttackConfig(max_iterations=50)
+    variants = [
+        ("per-client clip+noise (Fed-SDP)", "fed_sdp", {}),
+        ("per-example clip only (sigma=0)", "fed_cdp", {"noise_scale": 0.0}),
+        ("per-example clip+noise (Fed-CDP)", "fed_cdp", {}),
+    ]
+    results = {}
+    for label, method, overrides in variants:
+        config = bench_config("mnist", method, seed=seed, **overrides)
+        history = FederatedSimulation(config).run()
+
+        attack_model = build_model_for_dataset(spec, seed=seed, scale=0.3)
+        trainer = make_trainer(method, attack_model, config)
+        threat = GradientLeakageThreat(trainer, attack_config)
+        attack = threat.attack(
+            "type2",
+            attack_model.get_weights(),
+            attack_data.features[:1],
+            attack_data.labels[:1],
+            rng=np.random.default_rng(seed),
+        )
+        results[label] = {
+            "accuracy": history.final_accuracy,
+            "type2_distance": attack.reconstruction_distance,
+            "type2_succeeded": attack.succeeded,
+        }
+        rows.append([label, history.final_accuracy, attack.reconstruction_distance, attack.succeeded])
+    return results, format_table(
+        rows, ["granularity", "accuracy", "type-2 recon distance", "type-2 attack succeeded"],
+        title="Ablation: clipping/noise granularity (MNIST, scaled)",
+    )
+
+
+def test_ablation_clipping_granularity(benchmark, report):
+    results, table = run_once(benchmark, _run_ablation, seed=0)
+    report("Ablation: per-example vs per-client sanitisation", table)
+
+    sdp = results["per-client clip+noise (Fed-SDP)"]
+    clip_only = results["per-example clip only (sigma=0)"]
+    cdp = results["per-example clip+noise (Fed-CDP)"]
+
+    # Fed-SDP leaves the per-example surface exact: the type-2 attack succeeds
+    # and reconstructs the private example closely.
+    assert sdp["type2_succeeded"]
+    assert sdp["type2_distance"] < 0.1
+
+    # Per-example clipping alone already degrades the (scale-sensitive) L2
+    # attacker, but adding per-example noise pushes the reconstruction
+    # distance further out — and is what carries the DP guarantee.
+    assert not cdp["type2_succeeded"]
+    assert cdp["type2_distance"] > clip_only["type2_distance"]
+    assert cdp["type2_distance"] > 3 * sdp["type2_distance"]
+
+    # utility: both per-example variants train well above the per-client
+    # Fed-SDP baseline at this scale, and clipping alone costs little utility
+    assert clip_only["accuracy"] > 0.4
+    assert cdp["accuracy"] > sdp["accuracy"]
+    assert clip_only["accuracy"] > sdp["accuracy"]

@@ -1,0 +1,60 @@
+"""Figure 4 — all defenses against all three gradient-leakage types (LFW batch).
+
+The paper's visual comparison shows, for an LFW batch: non-private FL and
+DSSGD are reconstructable under every leakage type, Fed-SDP protects the
+shared update (type-0/1) but not per-example gradients (type-2), and
+Fed-CDP / Fed-CDP(decay) give the blurriest reconstructions everywhere, with
+the decay variant the most resilient.  The benchmark reproduces the comparison
+as reconstruction distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_figure4
+
+METHODS = ("nonprivate", "dssgd", "fed_sdp", "fed_cdp", "fed_cdp_decay")
+
+
+def test_figure4_defense_comparison_under_leakage(benchmark, report):
+    result = run_once(
+        benchmark,
+        run_figure4,
+        dataset="lfw",
+        methods=METHODS,
+        leakage_types=("type0", "type1", "type2"),
+        batch_size=3,
+        max_attack_iterations=60,
+        seed=0,
+    )
+    report("Figure 4: reconstruction distance per defense and leakage type (LFW)", result.formatted())
+
+    distances = result.distances
+
+    # non-private FL is the most reconstructable under every leakage type
+    for leakage in ("type0", "type1", "type2"):
+        for protected in ("fed_sdp", "fed_cdp", "fed_cdp_decay"):
+            if protected == "fed_sdp" and leakage == "type2":
+                continue  # Fed-SDP does not protect type-2 (checked below)
+            assert distances[(protected, leakage)] > distances[("nonprivate", leakage)], (protected, leakage)
+
+    # DSSGD offers little protection against per-example leakage
+    assert distances[("dssgd", "type2")] < distances[("fed_cdp", "type2")]
+
+    # Fed-SDP: type-2 reconstruction is much closer than its type-0/1 reconstruction
+    assert distances[("fed_sdp", "type2")] < distances[("fed_sdp", "type0")]
+    assert distances[("fed_sdp", "type2")] < distances[("fed_sdp", "type1")]
+
+    # Fed-CDP family keeps large distances under every attack
+    for method in ("fed_cdp", "fed_cdp_decay"):
+        for leakage in ("type0", "type1", "type2"):
+            assert distances[(method, leakage)] > 0.2, (method, leakage)
+
+    # averaged over attacks, the Fed-CDP family is the most resilient defense
+    def mean_distance(method):
+        return float(np.mean([distances[(method, leakage)] for leakage in ("type0", "type1", "type2")]))
+
+    assert mean_distance("fed_cdp") > mean_distance("fed_sdp")
+    assert mean_distance("fed_cdp_decay") > mean_distance("dssgd")

@@ -1,0 +1,55 @@
+"""Table II — accuracy by total clients K and participation Kt/K (MNIST).
+
+The paper's grid runs K in {100, 1000, 10000} and Kt/K in {5, 10, 20, 50}%;
+the scaled reproduction uses K in {10, 20} and Kt/K in {20, 50}% (see
+EXPERIMENTS.md).  Shape checks, following the paper's two observations:
+
+1. private methods reach accuracy in the same league as non-private FL as the
+   participation grows, and
+2. per-example Fed-CDP outperforms per-client Fed-SDP, with Fed-CDP(decay)
+   performing at least comparably to Fed-CDP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_table2
+
+CLIENT_COUNTS = (10, 20)
+FRACTIONS = (0.2, 0.5)
+METHODS = ("nonprivate", "fed_sdp", "fed_cdp", "fed_cdp_decay")
+
+
+def test_table2_accuracy_by_population_and_participation(benchmark, report):
+    result = run_once(
+        benchmark,
+        run_table2,
+        client_counts=CLIENT_COUNTS,
+        fractions=FRACTIONS,
+        methods=METHODS,
+        dataset="mnist",
+        profile="bench",
+        seed=0,
+    )
+    report("Table II: accuracy by K and Kt/K (MNIST, scaled)", result.formatted())
+
+    def mean_accuracy(method):
+        return float(np.mean(list(result.accuracy[method].values())))
+
+    # ordering of the method means: non-private ceiling, Fed-CDP variants above Fed-SDP
+    assert mean_accuracy("nonprivate") > mean_accuracy("fed_cdp")
+    assert mean_accuracy("fed_cdp") > mean_accuracy("fed_sdp")
+    assert mean_accuracy("fed_cdp_decay") > mean_accuracy("fed_sdp")
+
+    # non-private accuracy is high in every cell; Fed-CDP clears chance everywhere
+    for cell, accuracy in result.accuracy["nonprivate"].items():
+        assert accuracy > 0.5, cell
+    for cell, accuracy in result.accuracy["fed_cdp"].items():
+        assert accuracy > 0.15, cell
+
+    # larger participation helps the non-private baseline (averaged over K)
+    small_fraction = np.mean([result.accuracy["nonprivate"][(k, FRACTIONS[0])] for k in CLIENT_COUNTS])
+    large_fraction = np.mean([result.accuracy["nonprivate"][(k, FRACTIONS[1])] for k in CLIENT_COUNTS])
+    assert large_fraction >= small_fraction - 0.1

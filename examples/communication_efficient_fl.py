@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Communication-efficient federated learning under gradient leakage (Figure 5).
+
+The paper's Figure 5 studies what happens when FL compresses its shared
+updates by pruning small-magnitude gradients: compression alone does *not*
+stop gradient leakage (up to ~30% pruning the attack still reconstructs the
+private data), while Fed-CDP stays resilient at every compression level and
+keeps competitive accuracy.
+
+This example sweeps the gradient-pruning ratio for the non-private baseline,
+Fed-SDP and Fed-CDP, and reports for each combination:
+
+* the validation accuracy of the jointly trained model, and
+* the type-2 attack reconstruction distance against a leaked (pruned)
+  per-example gradient.
+
+Runtime: ~1-2 minutes.
+
+Run with::
+
+    python examples/communication_efficient_fl.py [--ratios 0 0.3 0.6]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_figure5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="mnist")
+    parser.add_argument(
+        "--ratios", type=float, nargs="+", default=[0.0, 0.3, 0.6],
+        help="gradient pruning ratios (fraction of update entries dropped)",
+    )
+    parser.add_argument(
+        "--methods", nargs="+", default=["nonprivate", "fed_sdp", "fed_cdp"],
+        help="training methods to compare",
+    )
+    parser.add_argument("--attack-iterations", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    result = run_figure5(
+        dataset=args.dataset,
+        compression_ratios=args.ratios,
+        methods=args.methods,
+        max_attack_iterations=args.attack_iterations,
+        profile="quick",
+        seed=args.seed,
+    )
+
+    accuracy_rows = []
+    distance_rows = []
+    for method in result.methods:
+        accuracy_rows.append([method] + [result.accuracy[method][r] for r in result.compression_ratios])
+        distance_rows.append([method] + [result.type2_distance[method][r] for r in result.compression_ratios])
+    ratio_headers = [f"prune {int(r * 100)}%" for r in result.compression_ratios]
+
+    print(format_table(accuracy_rows, ["method"] + ratio_headers,
+                       title=f"Validation accuracy vs gradient-pruning ratio ({args.dataset})"))
+    print(format_table(distance_rows, ["method"] + ratio_headers,
+                       title="Type-2 attack reconstruction distance vs pruning ratio (higher = more resilient)"))
+    print(
+        "Expected shape (Figure 5): pruning alone leaves the non-private baseline\n"
+        "reconstructable (small distances) at moderate ratios, while Fed-CDP keeps the\n"
+        "reconstruction distance high at every compression level."
+    )
+
+
+if __name__ == "__main__":
+    main()

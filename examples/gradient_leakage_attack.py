@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Gradient-leakage attack and defense demo (the paper's Figures 1 and 4).
+
+The script plays both sides:
+
+* the **adversary** intercepts gradients at the three observation points the
+  paper identifies (type-0 at the server, type-1 at the client after local
+  training, type-2 per-example during local training) and runs the
+  L-BFGS gradient reconstruction attack against each observation;
+* the **defender** is one of the training methods: non-private FL, DSSGD
+  (selective sharing), Fed-SDP (per-client noise), Fed-CDP and Fed-CDP(decay)
+  (per-example noise).
+
+The output table reports, per defense and leakage type, whether the attack
+succeeded, how many attack iterations it used, and the reconstruction distance
+(RMSE) to the private example — the same metrics as Table VII.  ASCII
+renderings of the ground truth and the reconstructions are printed so the
+difference is visible without matplotlib.
+
+Runtime: ~1-2 minutes.
+
+Run with::
+
+    python examples/gradient_leakage_attack.py [--dataset mnist] [--attack-iterations 80]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.attacks import AttackConfig, GradientLeakageThreat
+from repro.core import make_trainer
+from repro.data import generate_dataset, get_dataset_spec
+from repro.experiments import format_table, make_config
+from repro.nn import build_model_for_dataset
+
+DEFENSES = ("nonprivate", "dssgd", "fed_sdp", "fed_cdp", "fed_cdp_decay")
+LEAKAGE_TYPES = ("type0", "type1", "type2")
+
+
+def ascii_image(image: np.ndarray, width: int = 28) -> str:
+    """Render a single-channel image as ASCII art (for terminals without plots)."""
+    if image.ndim == 3:
+        image = image.mean(axis=0)
+    levels = " .:-=+*#%@"
+    scaled = np.clip(image, 0.0, 1.0)
+    indices = (scaled * (len(levels) - 1)).astype(int)
+    rows = ["".join(levels[i] for i in row) for row in indices]
+    return "\n".join(rows)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="mnist")
+    parser.add_argument("--batch-size", type=int, default=3, help="batch size attacked by type-0/1")
+    parser.add_argument("--attack-iterations", type=int, default=80)
+    parser.add_argument("--noise-scale", type=float, default=1.0, help="sigma used by the DP defenses")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--show-images", action="store_true", help="print ASCII reconstructions")
+    args = parser.parse_args()
+
+    spec = get_dataset_spec(args.dataset)
+    data = generate_dataset(spec, args.batch_size + 8, seed=args.seed)
+    model = build_model_for_dataset(spec, seed=args.seed, scale=0.3)
+    global_weights = model.get_weights()
+    config = make_config(args.dataset, "fed_cdp", profile="quick", noise_scale=args.noise_scale, seed=args.seed)
+    attack_config = AttackConfig(max_iterations=args.attack_iterations)
+    rng = np.random.default_rng(args.seed)
+
+    private_batch = data.features[: args.batch_size]
+    private_labels = data.labels[: args.batch_size]
+
+    rows = []
+    reconstructions = {}
+    for defense in DEFENSES:
+        trainer = make_trainer(defense, model, config.with_overrides(method=defense))
+        threat = GradientLeakageThreat(trainer, attack_config)
+        for leakage_type in LEAKAGE_TYPES:
+            result = threat.attack(
+                leakage_type, global_weights, private_batch, private_labels, rng=rng
+            )
+            rows.append(
+                [
+                    defense,
+                    leakage_type,
+                    "YES" if result.succeeded else "no",
+                    result.num_iterations,
+                    result.reconstruction_distance,
+                ]
+            )
+            if leakage_type == "type2":
+                reconstructions[defense] = result.reconstruction
+        print(f"attacked {defense}")
+
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["defense", "leakage", "attack succeeded", "attack iterations", "reconstruction RMSE"],
+            title=f"Gradient-leakage attacks on synthetic {args.dataset} (cf. Table VII / Figure 4)",
+        )
+    )
+    print(
+        "Expected shape: non-private and DSSGD leak under every attack type; Fed-SDP\n"
+        "resists type-0/1 but not type-2; Fed-CDP and Fed-CDP(decay) resist all three."
+    )
+
+    if args.show_images and spec.is_image:
+        print("\n=== private example (ground truth) ===")
+        print(ascii_image(private_batch[0]))
+        for defense in ("nonprivate", "fed_cdp"):
+            print(f"\n=== type-2 reconstruction under {defense} ===")
+            print(ascii_image(np.asarray(reconstructions[defense])))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Privacy-accounting study: reproduce and extend Table VI.
+
+This example exercises the differential-privacy substrate without training any
+model, so it runs in a couple of seconds:
+
+* recompute the paper's Table VI — the (epsilon, delta=1e-5) spending of
+  Fed-CDP (instance + client level) and Fed-SDP (client level) for the five
+  benchmark datasets with L in {1, 100} local iterations;
+* show how the moments accountant compares against naive basic composition
+  and the advanced composition theorem (why DP-SGD-style accounting matters);
+* sweep the noise scale sigma and the sampling rate q to show how the privacy
+  budget reacts (the accounting counterpart of Tables IV and V).
+
+Run with::
+
+    python examples/privacy_accounting_study.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import format_table, run_table6
+from repro.privacy import (
+    abadi_asymptotic_epsilon,
+    advanced_composition,
+    amplify_by_subsampling,
+    basic_composition,
+    calibrate_sigma,
+    compute_dp_sgd_epsilon,
+)
+
+
+def reproduce_table6() -> None:
+    print("=" * 72)
+    print("Step 1: Table VI with the paper's parameters (q=0.01, sigma=6, delta=1e-5)")
+    print("=" * 72)
+    result = run_table6()
+    print(result.formatted())
+    print(
+        "Paper reference (instance-level, L=100): MNIST/CIFAR-10 0.8227, LFW 0.6356,\n"
+        "Adult 0.2761, Cancer 0.1469 — the moments accountant reproduces these values.\n"
+    )
+
+
+def compare_composition_methods(
+    sampling_rate: float = 0.01,
+    noise_scale: float = 6.0,
+    delta: float = 1e-5,
+    steps: int = 10_000,
+) -> None:
+    print("=" * 72)
+    print("Step 2: why the moments accountant (and not naive composition)")
+    print("=" * 72)
+    per_step_epsilon = math.sqrt(2 * math.log(1.25 / delta)) / noise_scale
+    amplified_epsilon, amplified_delta = amplify_by_subsampling(
+        per_step_epsilon, delta / (2 * steps), sampling_rate
+    )
+    naive_epsilon, _ = basic_composition([(amplified_epsilon, amplified_delta)] * steps)
+    advanced_epsilon, _ = advanced_composition(amplified_epsilon, amplified_delta, steps, delta / 2)
+    moments_epsilon = compute_dp_sgd_epsilon(sampling_rate, noise_scale, steps, delta)
+    asymptotic = abadi_asymptotic_epsilon(sampling_rate, noise_scale, steps, delta)
+    rows = [
+        ["basic composition", naive_epsilon],
+        ["advanced composition", advanced_epsilon],
+        ["moments accountant (this repo)", moments_epsilon],
+        ["Abadi asymptotic bound (Eq. 2, c2=1)", asymptotic],
+    ]
+    print(
+        format_table(
+            rows,
+            headers=["accounting method", f"epsilon after {steps} steps"],
+            title=f"q={sampling_rate}, sigma={noise_scale}, delta={delta}",
+        )
+    )
+    print("The moments accountant is orders of magnitude tighter than naive composition.\n")
+
+
+def sweep_noise_and_sampling(delta: float = 1e-5, steps: int = 10_000) -> None:
+    print("=" * 72)
+    print("Step 3: how epsilon reacts to the noise scale and the sampling rate")
+    print("=" * 72)
+    noise_rows = []
+    for sigma in (0.5, 1.0, 2.0, 4.0, 6.0, 8.0):
+        noise_rows.append([sigma, compute_dp_sgd_epsilon(0.01, sigma, steps, delta)])
+    print(format_table(noise_rows, ["noise scale sigma", "epsilon"], title="q=0.01, T*L=10,000 steps"))
+
+    sampling_rows = []
+    for q in (0.001, 0.005, 0.01, 0.02, 0.05):
+        sampling_rows.append([q, compute_dp_sgd_epsilon(q, 6.0, steps, delta)])
+    print(format_table(sampling_rows, ["sampling rate q", "epsilon"], title="sigma=6, T*L=10,000 steps"))
+
+    print("Calibration helper: a single Gaussian release with epsilon=0.5, delta=1e-5")
+    print(f"requires a noise multiplier sigma >= {calibrate_sigma(0.5, delta):.2f}\n")
+
+
+def main() -> None:
+    reproduce_table6()
+    compare_composition_methods()
+    sweep_noise_and_sampling()
+
+
+if __name__ == "__main__":
+    main()

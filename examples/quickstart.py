@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: train a federated model with Fed-CDP and compare it to baselines.
+
+This example walks through the core public API:
+
+1. build a :class:`repro.federated.FederatedConfig` describing the federated
+   task (dataset, client population, local training and DP parameters);
+2. run a :class:`repro.federated.FederatedSimulation` for each training method
+   (non-private, Fed-SDP, Fed-CDP, Fed-CDP(decay));
+3. inspect the returned history: validation accuracy, per-iteration training
+   cost, and the (epsilon, delta) privacy spending tracked by the moments
+   accountant.
+
+Runtime: ~30 seconds on a laptop CPU.
+
+Run with::
+
+    python examples/quickstart.py [--dataset mnist] [--rounds 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import format_table, make_config
+from repro.federated import FederatedSimulation
+
+METHODS = ("nonprivate", "fed_sdp", "fed_cdp", "fed_cdp_decay")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="mnist", help="benchmark dataset (mnist, cifar10, lfw, adult, cancer)")
+    parser.add_argument("--rounds", type=int, default=12, help="number of federated rounds")
+    parser.add_argument("--clients", type=int, default=10, help="total number of clients K")
+    parser.add_argument("--participation", type=float, default=0.5, help="fraction of clients per round (Kt/K)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rows = []
+    for method in METHODS:
+        config = make_config(
+            args.dataset,
+            method,
+            profile="bench",
+            rounds=args.rounds,
+            num_clients=args.clients,
+            participation_fraction=args.participation,
+            eval_every=max(1, args.rounds // 3),
+            seed=args.seed,
+        )
+        started = time.perf_counter()
+        simulation = FederatedSimulation(config)
+        history = simulation.run()
+        elapsed = time.perf_counter() - started
+        rows.append(
+            [
+                method,
+                history.final_accuracy,
+                history.final_epsilon if history.final_epsilon else float("nan"),
+                history.mean_time_per_iteration_ms,
+                elapsed,
+            ]
+        )
+        print(
+            f"finished {method:14s} accuracy={history.final_accuracy:.3f} "
+            f"epsilon={history.final_epsilon:.3f} wall-clock={elapsed:.1f}s"
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["method", "val accuracy", "epsilon", "ms / local iteration", "total seconds"],
+            title=f"Fed-CDP quickstart on synthetic {args.dataset} "
+            f"(K={args.clients}, Kt/K={args.participation:.0%}, T={args.rounds})",
+        )
+    )
+    print(
+        "Expected shape (Table II of the paper): non-private sets the accuracy ceiling,\n"
+        "Fed-CDP and Fed-CDP(decay) come close while adding per-example DP noise, and\n"
+        "Fed-SDP trails because all of its noise lands on the shared round update."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Gradient-leakage (reconstruction) attacks and the type-0/1/2 threat harness."""
+
+from .metrics import attack_success_rate, mean_attack_iterations, psnr, reconstruction_distance
+from .objectives import (
+    OBJECTIVE_KINDS,
+    build_matching_loss,
+    cosine_matching_loss,
+    l2_matching_loss,
+    total_variation,
+)
+from .reconstruction import (
+    AttackConfig,
+    AttackResult,
+    GradientReconstructionAttack,
+    infer_label_from_gradients,
+)
+from .seeds import SEED_KINDS, constant_seed, make_seed, patterned_random_seed, uniform_random_seed
+from .threat import LEAKAGE_TYPES, GradientLeakageThreat, LeakageObservation
+
+__all__ = [
+    "AttackConfig",
+    "AttackResult",
+    "GradientReconstructionAttack",
+    "infer_label_from_gradients",
+    "GradientLeakageThreat",
+    "LeakageObservation",
+    "LEAKAGE_TYPES",
+    "SEED_KINDS",
+    "make_seed",
+    "patterned_random_seed",
+    "uniform_random_seed",
+    "constant_seed",
+    "reconstruction_distance",
+    "psnr",
+    "attack_success_rate",
+    "mean_attack_iterations",
+    "OBJECTIVE_KINDS",
+    "build_matching_loss",
+    "l2_matching_loss",
+    "cosine_matching_loss",
+    "total_variation",
+]

@@ -1,0 +1,92 @@
+"""Reverse-mode automatic differentiation engine (numpy backend).
+
+This package is the differentiable-computation substrate for the Fed-CDP
+reproduction.  It provides:
+
+* :class:`~repro.autodiff.tensor.Tensor` — a numpy-backed array recording an
+  autodiff graph;
+* the primitive operation library in :mod:`repro.autodiff.ops`;
+* :func:`~repro.autodiff.grad.grad` and
+  :func:`~repro.autodiff.grad.backward` — the differentiation drivers, with
+  support for higher-order gradients via ``create_graph=True``.
+"""
+
+from .grad import backward, grad, topological_order
+from .ops import (
+    abs_,
+    add,
+    broadcast_to,
+    clip_values,
+    crop2d,
+    div,
+    exp,
+    index_add_last,
+    index_select_last,
+    log,
+    logsumexp,
+    matmul,
+    mean,
+    mul,
+    neg,
+    pad2d,
+    pow_scalar,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+    sqrt,
+    sub,
+    tanh,
+    transpose,
+    tsum,
+)
+from .tensor import (
+    Tensor,
+    as_tensor,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    ones_like,
+    zeros,
+    zeros_like,
+)
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "grad",
+    "backward",
+    "topological_order",
+    "no_grad",
+    "is_grad_enabled",
+    "zeros",
+    "ones",
+    "zeros_like",
+    "ones_like",
+    "add",
+    "sub",
+    "neg",
+    "mul",
+    "div",
+    "pow_scalar",
+    "matmul",
+    "tsum",
+    "mean",
+    "broadcast_to",
+    "reshape",
+    "transpose",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "abs_",
+    "clip_values",
+    "pad2d",
+    "crop2d",
+    "index_select_last",
+    "index_add_last",
+    "logsumexp",
+    "softmax",
+]

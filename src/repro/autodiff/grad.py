@@ -1,0 +1,164 @@
+"""Reverse-mode differentiation driver.
+
+Provides two entry points mirroring the familiar PyTorch API:
+
+* :func:`grad` — functional interface returning gradients of a scalar (or of
+  any tensor with an explicit ``grad_output``) with respect to a list of
+  inputs.  With ``create_graph=True`` the returned gradients carry their own
+  autodiff graph and can be differentiated again; the gradient-inversion
+  attack relies on this to differentiate a gradient-matching loss with respect
+  to the attack seed.
+* :func:`backward` — accumulates gradients into the ``grad`` attribute of all
+  reachable leaf tensors, which is what the optimizers in
+  :mod:`repro.nn.optim` consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, no_grad, ones_like
+
+__all__ = ["grad", "backward", "topological_order"]
+
+
+def topological_order(output: Tensor) -> List[Tensor]:
+    """Return tensors reachable from ``output`` in topological order.
+
+    Only tensors participating in differentiation (``requires_grad=True``) are
+    visited.  The returned list ends with ``output``; reversing it yields a
+    valid order for the backward sweep.
+    """
+    order: List[Tensor] = []
+    visited: set = set()
+    # Iterative DFS to avoid recursion limits on deep graphs (e.g. many local
+    # iterations of unrolled training).
+    stack: List[tuple] = [(output, False)]
+    while stack:
+        node, processed = stack.pop()
+        if id(node) in visited and not processed:
+            continue
+        if processed:
+            order.append(node)
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if parent.requires_grad and id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def _accumulate(grads: Dict[int, Tensor], node: Tensor, value: Tensor) -> None:
+    existing = grads.get(id(node))
+    if existing is None:
+        grads[id(node)] = value
+    else:
+        grads[id(node)] = existing + value
+
+
+def grad(
+    output: Tensor,
+    inputs: Sequence[Tensor],
+    grad_output: Optional[Tensor] = None,
+    create_graph: bool = False,
+    allow_unused: bool = True,
+) -> List[Tensor]:
+    """Compute gradients of ``output`` with respect to each tensor in ``inputs``.
+
+    Parameters
+    ----------
+    output:
+        Tensor to differentiate.  Must be a scalar unless ``grad_output`` is
+        supplied.
+    inputs:
+        Tensors for which gradients are requested.
+    grad_output:
+        Upstream gradient seeding the backward pass; defaults to ones.
+    create_graph:
+        When ``True`` the backward pass records its own graph so the returned
+        gradients can be differentiated again (needed for the attack's
+        second-order gradients).
+    allow_unused:
+        When ``True`` (default) inputs not reachable from ``output`` receive a
+        zero gradient instead of raising an error.
+
+    Returns
+    -------
+    list of Tensor
+        Gradients aligned with ``inputs``.
+    """
+    inputs = list(inputs)
+    if not output.requires_grad:
+        raise ValueError("grad() called on a tensor that does not require grad")
+    if grad_output is None:
+        if output.size != 1:
+            raise ValueError(
+                "grad() requires a scalar output unless grad_output is provided; "
+                f"got shape {output.shape}"
+            )
+        grad_output = ones_like(output)
+
+    order = topological_order(output)
+    grads: Dict[int, Tensor] = {id(output): grad_output}
+
+    def sweep() -> None:
+        for node in reversed(order):
+            node_grad = grads.get(id(node))
+            if node_grad is None or node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                _accumulate(grads, parent, parent_grad)
+
+    if create_graph:
+        sweep()
+    else:
+        with no_grad():
+            sweep()
+
+    results: List[Tensor] = []
+    for inp in inputs:
+        g = grads.get(id(inp))
+        if g is None:
+            if not allow_unused:
+                raise ValueError("one of the inputs was not used in the graph of output")
+            g = Tensor(np.zeros_like(inp.data))
+        elif not create_graph:
+            g = g.detach()
+        results.append(g)
+    return results
+
+
+def backward(output: Tensor, grad_output: Optional[Tensor] = None) -> None:
+    """Accumulate gradients of ``output`` into every reachable leaf tensor.
+
+    Leaves are tensors created directly by the user (parameters, inputs) with
+    ``requires_grad=True``; their ``grad`` attribute is summed into, matching
+    the semantics optimizers expect across micro-batches.
+    """
+    if grad_output is None:
+        if output.size != 1:
+            raise ValueError("backward() requires a scalar output unless grad_output is given")
+        grad_output = ones_like(output)
+
+    order = topological_order(output)
+    grads: Dict[int, Tensor] = {id(output): grad_output}
+    with no_grad():
+        for node in reversed(order):
+            node_grad = grads.get(id(node))
+            if node_grad is None:
+                continue
+            if node._backward_fn is None:
+                if node.requires_grad:
+                    node.accumulate_grad(node_grad)
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                _accumulate(grads, parent, parent_grad)

@@ -1,0 +1,461 @@
+"""Primitive differentiable operations for the autodiff engine.
+
+Every operation returns a new :class:`~repro.autodiff.tensor.Tensor` and
+records a backward function.  Backward functions are themselves written in
+terms of these primitive operations, which is what makes second-order
+differentiation (``create_graph=True``) possible: differentiating a gradient
+simply walks the graph that the first backward pass built.
+
+The operation set is the minimum needed by :mod:`repro.nn` (dense and
+convolutional networks with softmax cross-entropy) plus the gradient-matching
+loss used by the reconstruction attack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import ArrayLike, Tensor, as_tensor
+
+__all__ = [
+    "add",
+    "sub",
+    "neg",
+    "mul",
+    "div",
+    "pow_scalar",
+    "matmul",
+    "tsum",
+    "mean",
+    "broadcast_to",
+    "reshape",
+    "transpose",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "abs_",
+    "clip_values",
+    "pad2d",
+    "crop2d",
+    "index_select_last",
+    "index_add_last",
+    "logsumexp",
+    "softmax",
+]
+
+
+# ----------------------------------------------------------------------
+# Broadcasting helpers
+# ----------------------------------------------------------------------
+def _unbroadcast(grad: Tensor, shape: Tuple[int, ...]) -> Tensor:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    Numpy broadcasting may have expanded an operand along leading axes or
+    along axes of size one; the gradient of a broadcast is the sum over the
+    broadcast axes.  The reduction is expressed with differentiable ops so
+    that it composes under double backprop.
+    """
+    if grad.shape == shape:
+        return grad
+    g = grad
+    while g.ndim > len(shape):
+        g = tsum(g, axis=0)
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and g.shape[i] != 1)
+    if axes:
+        g = tsum(g, axis=axes, keepdims=True)
+    if g.shape != shape:
+        g = reshape(g, shape)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise addition with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+
+    def backward(g: Tensor):
+        return _unbroadcast(g, a.shape), _unbroadcast(g, b.shape)
+
+    return Tensor._from_op(a.data + b.data, (a, b), backward, "add")
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise subtraction with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+
+    def backward(g: Tensor):
+        return _unbroadcast(g, a.shape), _unbroadcast(neg(g), b.shape)
+
+    return Tensor._from_op(a.data - b.data, (a, b), backward, "sub")
+
+
+def neg(a: ArrayLike) -> Tensor:
+    """Elementwise negation."""
+    a = as_tensor(a)
+
+    def backward(g: Tensor):
+        return (neg(g),)
+
+    return Tensor._from_op(-a.data, (a,), backward, "neg")
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise multiplication with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+
+    def backward(g: Tensor):
+        return _unbroadcast(mul(g, b), a.shape), _unbroadcast(mul(g, a), b.shape)
+
+    return Tensor._from_op(a.data * b.data, (a, b), backward, "mul")
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise division with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+
+    def backward(g: Tensor):
+        grad_a = div(g, b)
+        grad_b = neg(div(mul(g, a), mul(b, b)))
+        return _unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape)
+
+    return Tensor._from_op(a.data / b.data, (a, b), backward, "div")
+
+
+def pow_scalar(a: ArrayLike, exponent: float) -> Tensor:
+    """Raise ``a`` elementwise to a constant scalar power."""
+    a = as_tensor(a)
+    exponent = float(exponent)
+
+    def backward(g: Tensor):
+        return (mul(g, mul(Tensor(exponent), pow_scalar(a, exponent - 1.0))),)
+
+    return Tensor._from_op(a.data ** exponent, (a,), backward, "pow")
+
+
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Matrix product of two 2-D tensors."""
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"matmul expects 2-D tensors, got shapes {a.shape} and {b.shape}; "
+            "reshape/transpose higher-rank tensors explicitly"
+        )
+
+    def backward(g: Tensor):
+        grad_a = matmul(g, transpose(b, (1, 0)))
+        grad_b = matmul(transpose(a, (1, 0)), g)
+        return grad_a, grad_b
+
+    return Tensor._from_op(a.data @ b.data, (a, b), backward, "matmul")
+
+
+# ----------------------------------------------------------------------
+# Reductions and shape manipulation
+# ----------------------------------------------------------------------
+def tsum(
+    a: ArrayLike,
+    axis: Optional[Union[int, Tuple[int, ...]]] = None,
+    keepdims: bool = False,
+) -> Tensor:
+    """Sum of tensor elements over the given axes."""
+    a = as_tensor(a)
+    if isinstance(axis, int):
+        axis = (axis,)
+
+    def backward(g: Tensor):
+        if axis is None:
+            grad = broadcast_to(reshape(g, (1,) * a.ndim), a.shape)
+        else:
+            if keepdims:
+                expanded = g
+            else:
+                kept_shape = list(a.shape)
+                for ax in axis:
+                    kept_shape[ax % a.ndim] = 1
+                expanded = reshape(g, tuple(kept_shape))
+            grad = broadcast_to(expanded, a.shape)
+        return (grad,)
+
+    return Tensor._from_op(np.sum(a.data, axis=axis, keepdims=keepdims), (a,), backward, "sum")
+
+
+def mean(
+    a: ArrayLike,
+    axis: Optional[Union[int, Tuple[int, ...]]] = None,
+    keepdims: bool = False,
+) -> Tensor:
+    """Arithmetic mean over the given axes (implemented via :func:`tsum`)."""
+    a = as_tensor(a)
+    if axis is None:
+        count = a.size
+    else:
+        axes = (axis,) if isinstance(axis, int) else axis
+        count = 1
+        for ax in axes:
+            count *= a.shape[ax % a.ndim]
+    return div(tsum(a, axis=axis, keepdims=keepdims), Tensor(float(count)))
+
+
+def broadcast_to(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    """Broadcast ``a`` to ``shape``; gradient sums over broadcast axes."""
+    a = as_tensor(a)
+    shape = tuple(int(s) for s in shape)
+
+    def backward(g: Tensor):
+        return (_unbroadcast(g, a.shape),)
+
+    return Tensor._from_op(np.broadcast_to(a.data, shape).copy(), (a,), backward, "broadcast_to")
+
+
+def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    """Reshape without changing data; gradient reshapes back."""
+    a = as_tensor(a)
+    shape = tuple(int(s) for s in shape) if not isinstance(shape, int) else (int(shape),)
+
+    def backward(g: Tensor):
+        return (reshape(g, a.shape),)
+
+    return Tensor._from_op(a.data.reshape(shape), (a,), backward, "reshape")
+
+
+def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
+    """Permute tensor axes; gradient applies the inverse permutation."""
+    a = as_tensor(a)
+    if axes is None:
+        axes = tuple(reversed(range(a.ndim)))
+    axes = tuple(int(ax) for ax in axes)
+    inverse = tuple(int(i) for i in np.argsort(axes))
+
+    def backward(g: Tensor):
+        return (transpose(g, inverse),)
+
+    return Tensor._from_op(np.transpose(a.data, axes), (a,), backward, "transpose")
+
+
+# ----------------------------------------------------------------------
+# Elementwise nonlinearities
+# ----------------------------------------------------------------------
+def exp(a: ArrayLike) -> Tensor:
+    """Elementwise exponential."""
+    a = as_tensor(a)
+
+    def backward(g: Tensor):
+        # Recompute exp(a) with a differentiable op so second-order gradients
+        # see the dependence on ``a`` (capturing the raw output array would
+        # freeze it into a constant).
+        return (mul(g, exp(a)),)
+
+    return Tensor._from_op(np.exp(a.data), (a,), backward, "exp")
+
+
+def log(a: ArrayLike) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+
+    def backward(g: Tensor):
+        return (div(g, a),)
+
+    return Tensor._from_op(np.log(a.data), (a,), backward, "log")
+
+
+def sqrt(a: ArrayLike) -> Tensor:
+    """Elementwise square root."""
+    a = as_tensor(a)
+
+    def backward(g: Tensor):
+        return (mul(g, mul(Tensor(0.5), pow_scalar(a, -0.5))),)
+
+    return Tensor._from_op(np.sqrt(a.data), (a,), backward, "sqrt")
+
+
+def tanh(a: ArrayLike) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    a = as_tensor(a)
+
+    def backward(g: Tensor):
+        t = tanh(a)
+        return (mul(g, sub(Tensor(1.0), mul(t, t))),)
+
+    return Tensor._from_op(np.tanh(a.data), (a,), backward, "tanh")
+
+
+def _sigmoid_data(x: np.ndarray) -> np.ndarray:
+    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    """Elementwise logistic sigmoid, computed in a numerically stable way."""
+    a = as_tensor(a)
+
+    def backward(g: Tensor):
+        s = sigmoid(a)
+        return (mul(g, mul(s, sub(Tensor(1.0), s))),)
+
+    return Tensor._from_op(_sigmoid_data(a.data), (a,), backward, "sigmoid")
+
+
+def relu(a: ArrayLike) -> Tensor:
+    """Elementwise rectified linear unit."""
+    a = as_tensor(a)
+    mask = (a.data > 0).astype(a.data.dtype)
+
+    def backward(g: Tensor):
+        return (mul(g, Tensor(mask)),)
+
+    return Tensor._from_op(a.data * mask, (a,), backward, "relu")
+
+
+def abs_(a: ArrayLike) -> Tensor:
+    """Elementwise absolute value (subgradient 0 at the origin)."""
+    a = as_tensor(a)
+    sign = np.sign(a.data)
+
+    def backward(g: Tensor):
+        return (mul(g, Tensor(sign)),)
+
+    return Tensor._from_op(np.abs(a.data), (a,), backward, "abs")
+
+
+def clip_values(a: ArrayLike, low: float, high: float) -> Tensor:
+    """Clamp values into ``[low, high]``; gradient passes only inside the range."""
+    a = as_tensor(a)
+    mask = ((a.data >= low) & (a.data <= high)).astype(a.data.dtype)
+
+    def backward(g: Tensor):
+        return (mul(g, Tensor(mask)),)
+
+    return Tensor._from_op(np.clip(a.data, low, high), (a,), backward, "clip")
+
+
+# ----------------------------------------------------------------------
+# Spatial / indexing operations (used by the Conv2D layer)
+# ----------------------------------------------------------------------
+def pad2d(a: ArrayLike, padding: int) -> Tensor:
+    """Zero-pad the two trailing spatial axes of an ``(N, C, H, W)`` tensor."""
+    a = as_tensor(a)
+    padding = int(padding)
+    if padding == 0:
+        return reshape(a, a.shape)
+    pad_width = ((0, 0),) * (a.ndim - 2) + ((padding, padding), (padding, padding))
+
+    def backward(g: Tensor):
+        return (crop2d(g, padding),)
+
+    return Tensor._from_op(np.pad(a.data, pad_width), (a,), backward, "pad2d")
+
+
+def crop2d(a: ArrayLike, padding: int) -> Tensor:
+    """Inverse of :func:`pad2d`: remove ``padding`` pixels from each spatial edge."""
+    a = as_tensor(a)
+    padding = int(padding)
+    if padding == 0:
+        return reshape(a, a.shape)
+    sl = (slice(None),) * (a.ndim - 2) + (slice(padding, -padding), slice(padding, -padding))
+
+    def backward(g: Tensor):
+        return (pad2d(g, padding),)
+
+    return Tensor._from_op(a.data[sl].copy(), (a,), backward, "crop2d")
+
+
+def index_select_last(a: ArrayLike, indices: np.ndarray) -> Tensor:
+    """Gather along the last axis of a 2-D tensor: ``out[n, k] = a[n, idx[k]]``.
+
+    The adjoint is :func:`index_add_last` (scatter-add with the same index
+    array), which in turn has this gather as its own adjoint — making the pair
+    closed under repeated differentiation.  This is the building block for the
+    im2col-based convolution in :mod:`repro.nn.functional`.
+    """
+    a = as_tensor(a)
+    if a.ndim != 2:
+        raise ValueError(f"index_select_last expects a 2-D tensor, got shape {a.shape}")
+    indices = np.asarray(indices, dtype=np.int64)
+    in_size = a.shape[1]
+
+    def backward(g: Tensor):
+        return (index_add_last(g, indices, in_size),)
+
+    return Tensor._from_op(a.data[:, indices], (a,), backward, "index_select_last")
+
+
+def index_add_last(a: ArrayLike, indices: np.ndarray, size: int) -> Tensor:
+    """Scatter-add along the last axis: ``out[n, idx[k]] += a[n, k]``."""
+    a = as_tensor(a)
+    if a.ndim != 2:
+        raise ValueError(f"index_add_last expects a 2-D tensor, got shape {a.shape}")
+    indices = np.asarray(indices, dtype=np.int64)
+    size = int(size)
+    out_data = np.zeros((a.shape[0], size), dtype=a.data.dtype)
+    np.add.at(out_data, (slice(None), indices), a.data)
+
+    def backward(g: Tensor):
+        return (index_select_last(g, indices),)
+
+    return Tensor._from_op(out_data, (a,), backward, "index_add_last")
+
+
+# ----------------------------------------------------------------------
+# Composite numerical helpers
+# ----------------------------------------------------------------------
+def logsumexp(a: ArrayLike, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(a)))`` along ``axis``.
+
+    The row-wise maximum is treated as a constant shift, which does not change
+    the derivative and keeps the computation differentiable to any order.
+    """
+    a = as_tensor(a)
+    axis = axis % a.ndim
+    shift = np.max(a.data, axis=axis, keepdims=True)
+    shifted = sub(a, Tensor(shift))
+    out = add(log(tsum(exp(shifted), axis=axis, keepdims=True)), Tensor(shift))
+    if not keepdims:
+        new_shape = tuple(s for i, s in enumerate(a.shape) if i != axis)
+        out = reshape(out, new_shape if new_shape else (1,))
+    return out
+
+
+def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` computed from differentiable primitives."""
+    a = as_tensor(a)
+    axis = axis % a.ndim
+    lse = logsumexp(a, axis=axis, keepdims=True)
+    return exp(sub(a, lse))
+
+
+# ----------------------------------------------------------------------
+# Operator overloading on Tensor
+# ----------------------------------------------------------------------
+def _bind_operators() -> None:
+    Tensor.__add__ = lambda self, other: add(self, other)
+    Tensor.__radd__ = lambda self, other: add(other, self)
+    Tensor.__sub__ = lambda self, other: sub(self, other)
+    Tensor.__rsub__ = lambda self, other: sub(other, self)
+    Tensor.__mul__ = lambda self, other: mul(self, other)
+    Tensor.__rmul__ = lambda self, other: mul(other, self)
+    Tensor.__truediv__ = lambda self, other: div(self, other)
+    Tensor.__rtruediv__ = lambda self, other: div(other, self)
+    Tensor.__neg__ = lambda self: neg(self)
+    Tensor.__pow__ = lambda self, exponent: pow_scalar(self, exponent)
+    Tensor.__matmul__ = lambda self, other: matmul(self, other)
+    Tensor.sum = lambda self, axis=None, keepdims=False: tsum(self, axis=axis, keepdims=keepdims)
+    Tensor.mean = lambda self, axis=None, keepdims=False: mean(self, axis=axis, keepdims=keepdims)
+    Tensor.reshape = lambda self, *shape: reshape(
+        self, shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list)) else shape
+    )
+    Tensor.transpose = lambda self, axes=None: transpose(self, axes)
+    Tensor.exp = lambda self: exp(self)
+    Tensor.log = lambda self: log(self)
+    Tensor.sqrt = lambda self: sqrt(self)
+    Tensor.tanh = lambda self: tanh(self)
+    Tensor.relu = lambda self: relu(self)
+    Tensor.abs = lambda self: abs_(self)
+
+
+_bind_operators()

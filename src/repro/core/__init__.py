@@ -1,0 +1,41 @@
+"""The paper's contribution: Fed-CDP, Fed-CDP(decay), Fed-SDP and baselines."""
+
+from .base import LocalTrainerBase, LocalUpdate
+from .decay import FedCDPDecayTrainer, make_decay_policy
+from .dssgd import DSSGDTrainer, select_top_fraction
+from .factory import TRAINER_CLASSES, make_trainer
+from .fed_cdp import FedCDPTrainer
+from .fed_sdp import FedSDPTrainer
+from .membership_inference import (
+    MembershipInferenceResult,
+    loss_threshold_attack,
+    per_example_losses,
+)
+from .nonprivate import NonPrivateTrainer
+from .tradeoff import (
+    DistortionBound,
+    classification_margin,
+    max_tolerable_distortion,
+    mean_gradient_norm,
+)
+
+__all__ = [
+    "LocalTrainerBase",
+    "LocalUpdate",
+    "NonPrivateTrainer",
+    "FedSDPTrainer",
+    "FedCDPTrainer",
+    "FedCDPDecayTrainer",
+    "DSSGDTrainer",
+    "select_top_fraction",
+    "make_decay_policy",
+    "make_trainer",
+    "TRAINER_CLASSES",
+    "DistortionBound",
+    "classification_margin",
+    "max_tolerable_distortion",
+    "mean_gradient_norm",
+    "MembershipInferenceResult",
+    "loss_threshold_attack",
+    "per_example_losses",
+]

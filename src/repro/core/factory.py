@@ -1,0 +1,49 @@
+"""Factory mapping method names to local trainers."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.federated.config import METHODS, FederatedConfig
+from repro.nn import Sequential
+
+from .base import LocalTrainerBase
+from .decay import FedCDPDecayTrainer
+from .dssgd import DSSGDTrainer
+from .fed_cdp import FedCDPTrainer
+from .fed_sdp import FedSDPTrainer
+from .nonprivate import NonPrivateTrainer
+
+__all__ = ["TRAINER_CLASSES", "make_trainer"]
+
+
+TRAINER_CLASSES: Dict[str, Type[LocalTrainerBase]] = {
+    "nonprivate": NonPrivateTrainer,
+    "fed_sdp": FedSDPTrainer,
+    "fed_cdp": FedCDPTrainer,
+    "fed_cdp_decay": FedCDPDecayTrainer,
+    "dssgd": DSSGDTrainer,
+}
+
+# keep the config-level method list and the factory in sync
+assert set(TRAINER_CLASSES) == set(METHODS)
+
+
+def make_trainer(method: str, model: Sequential, config: FederatedConfig) -> LocalTrainerBase:
+    """Instantiate the local trainer implementing ``method``.
+
+    Parameters
+    ----------
+    method:
+        One of ``nonprivate``, ``fed_sdp``, ``fed_cdp``, ``fed_cdp_decay``,
+        ``dssgd``.
+    model:
+        The (shared) model instance the trainer operates on; the federated
+        simulation re-loads the appropriate weights before every use.
+    config:
+        Run configuration carrying the DP and local-training parameters.
+    """
+    key = method.lower()
+    if key not in TRAINER_CLASSES:
+        raise ValueError(f"unknown method {method!r}; expected one of {sorted(TRAINER_CLASSES)}")
+    return TRAINER_CLASSES[key](model, config)

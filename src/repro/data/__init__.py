@@ -1,0 +1,26 @@
+"""Dataset substrate: synthetic benchmark stand-ins, containers and partitioning."""
+
+from .dataset import Dataset
+from .partition import partition_by_class_shards, partition_dataset, partition_full_copy
+from .registry import DATASET_REGISTRY, DatasetSpec, get_dataset_spec, list_datasets
+from .synthetic import (
+    generate_dataset,
+    generate_image_dataset,
+    generate_tabular_dataset,
+    generate_train_val,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "DATASET_REGISTRY",
+    "get_dataset_spec",
+    "list_datasets",
+    "generate_dataset",
+    "generate_image_dataset",
+    "generate_tabular_dataset",
+    "generate_train_val",
+    "partition_dataset",
+    "partition_by_class_shards",
+    "partition_full_copy",
+]

@@ -1,0 +1,153 @@
+"""Registry of the five benchmark datasets and their FL parameters (Table I).
+
+Every entry mirrors a column of Table I in the paper: dataset sizes, feature
+shape, class count, the per-client data volume, the local batch size ``B``,
+the number of local iterations ``L``, the number of federated rounds ``T`` and
+the accuracy/cost the paper reports for the non-private baseline.  The
+reported numbers are retained as reference points for EXPERIMENTS.md; the
+synthetic stand-ins in :mod:`repro.data.synthetic` reproduce the shapes and
+class structure, not the semantic content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["DatasetSpec", "DATASET_REGISTRY", "get_dataset_spec", "list_datasets"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one benchmark dataset and its FL configuration."""
+
+    name: str
+    #: number of training / validation examples in the paper (Table I)
+    num_train: int
+    num_val: int
+    #: image shape ``(C, H, W)`` or ``None`` for tabular data
+    image_shape: Optional[Tuple[int, int, int]]
+    #: flat feature count (``C*H*W`` for images)
+    num_features: int
+    num_classes: int
+    #: per-client training-set size (``N_i``)
+    data_per_client: int
+    #: number of distinct classes present at each client's shard
+    classes_per_client: int
+    #: local batch size ``B``
+    batch_size: int
+    #: local iterations ``L`` per round
+    local_iterations: int
+    #: total federated rounds ``T``
+    rounds: int
+    #: non-private validation accuracy reported in Table I
+    reported_nonprivate_accuracy: float
+    #: non-private per-iteration cost (ms) reported in Table I
+    reported_nonprivate_cost_ms: float
+    #: whether every client holds a full copy of the data (cancer dataset)
+    full_copy_per_client: bool = False
+
+    @property
+    def is_image(self) -> bool:
+        """True for the image benchmarks (MNIST, CIFAR-10, LFW)."""
+        return self.image_shape is not None
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        """Model input shape of a single example."""
+        return self.image_shape if self.is_image else (self.num_features,)
+
+
+DATASET_REGISTRY: Dict[str, DatasetSpec] = {
+    "mnist": DatasetSpec(
+        name="mnist",
+        num_train=60000,
+        num_val=10000,
+        image_shape=(1, 28, 28),
+        num_features=28 * 28,
+        num_classes=10,
+        data_per_client=500,
+        classes_per_client=2,
+        batch_size=5,
+        local_iterations=100,
+        rounds=100,
+        reported_nonprivate_accuracy=0.9798,
+        reported_nonprivate_cost_ms=6.8,
+    ),
+    "cifar10": DatasetSpec(
+        name="cifar10",
+        num_train=50000,
+        num_val=10000,
+        image_shape=(3, 32, 32),
+        num_features=3 * 32 * 32,
+        num_classes=10,
+        data_per_client=400,
+        classes_per_client=2,
+        batch_size=4,
+        local_iterations=100,
+        rounds=100,
+        reported_nonprivate_accuracy=0.674,
+        reported_nonprivate_cost_ms=32.5,
+    ),
+    "lfw": DatasetSpec(
+        name="lfw",
+        num_train=2267,
+        num_val=756,
+        image_shape=(3, 32, 32),
+        num_features=3 * 32 * 32,
+        num_classes=62,
+        data_per_client=300,
+        classes_per_client=15,
+        batch_size=3,
+        local_iterations=100,
+        rounds=60,
+        reported_nonprivate_accuracy=0.695,
+        reported_nonprivate_cost_ms=30.9,
+    ),
+    "adult": DatasetSpec(
+        name="adult",
+        num_train=36631,
+        num_val=12211,
+        image_shape=None,
+        num_features=105,
+        num_classes=2,
+        data_per_client=300,
+        classes_per_client=2,
+        batch_size=3,
+        local_iterations=100,
+        rounds=10,
+        reported_nonprivate_accuracy=0.8424,
+        reported_nonprivate_cost_ms=5.1,
+    ),
+    "cancer": DatasetSpec(
+        name="cancer",
+        num_train=426,
+        num_val=143,
+        image_shape=None,
+        num_features=30,
+        num_classes=2,
+        data_per_client=400,
+        classes_per_client=2,
+        batch_size=4,
+        local_iterations=100,
+        rounds=3,
+        reported_nonprivate_accuracy=0.993,
+        reported_nonprivate_cost_ms=4.9,
+        full_copy_per_client=True,
+    ),
+}
+
+
+def get_dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset specification by name (case-insensitive)."""
+    key = name.lower()
+    if key not in DATASET_REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
+        )
+    return DATASET_REGISTRY[key]
+
+
+def list_datasets() -> Tuple[str, ...]:
+    """Names of all registered benchmark datasets, in Table I order."""
+    return tuple(DATASET_REGISTRY)

@@ -1,0 +1,266 @@
+"""Runners that regenerate the paper's figures (as numeric series).
+
+Figures are reproduced as the numeric series that would be plotted: this keeps
+the benchmark harness dependency-free (no matplotlib in the offline
+environment) while still checking the qualitative shape the paper shows.
+Each runner returns a dataclass of series; the ``formatted`` methods print the
+series as small text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.registry import get_dataset_spec
+from repro.data.synthetic import generate_dataset
+from repro.federated.simulation import FederatedSimulation
+from repro.nn import build_model_for_dataset
+
+from .harness import format_table, make_config
+
+__all__ = [
+    "Figure1Result",
+    "run_figure1",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — the attack itself (reconstruction from leaked gradients)
+# ----------------------------------------------------------------------
+@dataclass
+class Figure1Result:
+    """Attack demonstration: loss trajectory and reconstruction quality."""
+
+    dataset: str
+    batch_reconstruction_distance: float
+    batch_attack_iterations: int
+    batch_succeeded: bool
+    per_example_reconstruction_distance: float
+    per_example_attack_iterations: int
+    per_example_succeeded: bool
+    per_example_loss_history: List[float] = field(default_factory=list)
+
+    def formatted(self) -> str:
+        rows = [
+            ["type-0/1 (batch of 3)", self.batch_succeeded, self.batch_reconstruction_distance, self.batch_attack_iterations],
+            ["type-2 (single example)", self.per_example_succeeded, self.per_example_reconstruction_distance, self.per_example_attack_iterations],
+        ]
+        return format_table(
+            rows,
+            ["attack", "succeeded", "reconstruction distance", "iterations"],
+            title=f"Figure 1: gradient leakage attack on non-private FL ({self.dataset})",
+        )
+
+
+def run_figure1(
+    dataset: str = "mnist",
+    batch_size: int = 3,
+    max_attack_iterations: int = 100,
+    seed: int = 0,
+) -> Figure1Result:
+    """Reproduce Figure 1: the reconstruction attack on non-private gradients."""
+    from repro.attacks import AttackConfig, GradientLeakageThreat
+    from repro.core.factory import make_trainer
+
+    spec = get_dataset_spec(dataset)
+    data = generate_dataset(spec, batch_size + 4, seed=seed)
+    model = build_model_for_dataset(spec, seed=seed, scale=0.3)
+    config = make_config(dataset, "nonprivate", profile="quick", seed=seed)
+    trainer = make_trainer("nonprivate", model, config)
+    threat = GradientLeakageThreat(
+        trainer, AttackConfig(max_iterations=max_attack_iterations, success_loss_threshold=1e-3)
+    )
+    rng = np.random.default_rng(seed)
+    weights = model.get_weights()
+    features = data.features[:batch_size]
+    labels = data.labels[:batch_size]
+    batch_attack = threat.attack("type1", weights, features, labels, rng=rng)
+    example_attack = threat.attack("type2", weights, features, labels, rng=rng)
+    return Figure1Result(
+        dataset=dataset,
+        batch_reconstruction_distance=batch_attack.reconstruction_distance,
+        batch_attack_iterations=batch_attack.num_iterations,
+        batch_succeeded=batch_attack.succeeded,
+        per_example_reconstruction_distance=example_attack.reconstruction_distance,
+        per_example_attack_iterations=example_attack.num_iterations,
+        per_example_succeeded=example_attack.succeeded,
+        per_example_loss_history=list(example_attack.loss_history),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — decay of the gradient L2 norm over training
+# ----------------------------------------------------------------------
+@dataclass
+class Figure3Result:
+    """Mean gradient L2 norm per round for non-private federated training."""
+
+    dataset: str
+    rounds: List[int]
+    mean_gradient_norm: List[float]
+
+    def formatted(self) -> str:
+        rows = [[r, n] for r, n in zip(self.rounds, self.mean_gradient_norm)]
+        return format_table(rows, ["round", "mean gradient L2 norm"], title="Figure 3: gradient norm during training")
+
+    @property
+    def is_decreasing_overall(self) -> bool:
+        """True when the late-training norm is below the early-training norm."""
+        if len(self.mean_gradient_norm) < 2:
+            return False
+        early = float(np.mean(self.mean_gradient_norm[: max(1, len(self.mean_gradient_norm) // 3)]))
+        late = float(np.mean(self.mean_gradient_norm[-max(1, len(self.mean_gradient_norm) // 3):]))
+        return late < early
+
+
+def run_figure3(
+    dataset: str = "mnist",
+    rounds: int = 15,
+    profile: str = "bench",
+    seed: int = 0,
+) -> Figure3Result:
+    """Reproduce Figure 3: the decaying L2 norm of gradients during training."""
+    config = make_config(dataset, "nonprivate", profile=profile, rounds=rounds, seed=seed)
+    history = FederatedSimulation(config).run()
+    return Figure3Result(
+        dataset=dataset,
+        rounds=[r.round_index for r in history.rounds],
+        mean_gradient_norm=history.gradient_norm_series,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — visual comparison of defenses under the three leakage types
+# ----------------------------------------------------------------------
+@dataclass
+class Figure4Result:
+    """Reconstruction distance per defense and leakage type (LFW batch)."""
+
+    dataset: str
+    methods: List[str]
+    leakage_types: List[str]
+    #: reconstruction_distance[(method, leakage_type)]
+    distances: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    successes: Dict[Tuple[str, str], bool] = field(default_factory=dict)
+
+    def formatted(self) -> str:
+        headers = ["method"] + [f"{t} dist" for t in self.leakage_types]
+        rows = []
+        for method in self.methods:
+            rows.append([method] + [self.distances[(method, t)] for t in self.leakage_types])
+        return format_table(rows, headers, title=f"Figure 4: defense comparison under gradient leakage ({self.dataset})")
+
+
+def run_figure4(
+    dataset: str = "lfw",
+    methods: Sequence[str] = ("nonprivate", "dssgd", "fed_sdp", "fed_cdp", "fed_cdp_decay"),
+    leakage_types: Sequence[str] = ("type0", "type1", "type2"),
+    batch_size: int = 3,
+    max_attack_iterations: int = 40,
+    seed: int = 0,
+) -> Figure4Result:
+    """Reproduce Figure 4: all defenses against all three leakage types."""
+    from repro.attacks import AttackConfig, GradientLeakageThreat
+    from repro.core.factory import make_trainer
+
+    spec = get_dataset_spec(dataset)
+    data = generate_dataset(spec, batch_size + 4, seed=seed)
+    model = build_model_for_dataset(spec, seed=seed, scale=0.25)
+    weights = model.get_weights()
+    config = make_config(dataset, "fed_cdp", profile="quick", seed=seed)
+    attack_config = AttackConfig(max_iterations=max_attack_iterations, success_loss_threshold=1e-3)
+    rng = np.random.default_rng(seed)
+
+    result = Figure4Result(dataset=dataset, methods=list(methods), leakage_types=list(leakage_types))
+    features = data.features[:batch_size]
+    labels = data.labels[:batch_size]
+    for method in methods:
+        trainer = make_trainer(method, model, config.with_overrides(method=method))
+        threat = GradientLeakageThreat(trainer, attack_config)
+        for leakage_type in leakage_types:
+            attack = threat.attack(leakage_type, weights, features, labels, rng=rng)
+            result.distances[(method, leakage_type)] = attack.reconstruction_distance
+            result.successes[(method, leakage_type)] = attack.succeeded
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — accuracy and type-2 resilience in communication-efficient FL
+# ----------------------------------------------------------------------
+@dataclass
+class Figure5Result:
+    """Accuracy and type-2 reconstruction distance vs gradient-pruning ratio."""
+
+    dataset: str
+    compression_ratios: List[float]
+    methods: List[str]
+    #: accuracy[method][ratio]
+    accuracy: Dict[str, Dict[float, float]] = field(default_factory=dict)
+    #: type-2 reconstruction distance[method][ratio]
+    type2_distance: Dict[str, Dict[float, float]] = field(default_factory=dict)
+
+    def formatted(self) -> str:
+        headers = ["method"] + [f"prune {int(r * 100)}% acc" for r in self.compression_ratios] + [
+            f"prune {int(r * 100)}% dist" for r in self.compression_ratios
+        ]
+        rows = []
+        for method in self.methods:
+            rows.append(
+                [method]
+                + [self.accuracy[method][r] for r in self.compression_ratios]
+                + [self.type2_distance[method][r] for r in self.compression_ratios]
+            )
+        return format_table(rows, headers, title="Figure 5: communication-efficient FL (gradient pruning)")
+
+
+def run_figure5(
+    dataset: str = "mnist",
+    compression_ratios: Sequence[float] = (0.0, 0.3, 0.6),
+    methods: Sequence[str] = ("nonprivate", "fed_sdp", "fed_cdp", "fed_cdp_decay"),
+    max_attack_iterations: int = 40,
+    profile: str = "quick",
+    seed: int = 0,
+) -> Figure5Result:
+    """Reproduce Figure 5: defenses under gradient pruning (compression)."""
+    from repro.attacks import AttackConfig, GradientLeakageThreat
+    from repro.core.factory import make_trainer
+
+    spec = get_dataset_spec(dataset)
+    result = Figure5Result(dataset=dataset, compression_ratios=[float(r) for r in compression_ratios], methods=list(methods))
+    attack_data = generate_dataset(spec, 8, seed=seed)
+    rng = np.random.default_rng(seed)
+    attack_config = AttackConfig(max_iterations=max_attack_iterations, success_loss_threshold=1e-3)
+
+    for method in methods:
+        result.accuracy[method] = {}
+        result.type2_distance[method] = {}
+        for ratio in compression_ratios:
+            config = make_config(
+                dataset, method, profile=profile, compression_ratio=float(ratio), seed=seed
+            )
+            simulation = FederatedSimulation(config)
+            history = simulation.run()
+            result.accuracy[method][float(ratio)] = history.final_accuracy
+
+            # Type-2 attack against the (possibly pruned) per-example gradients.
+            attack_model = build_model_for_dataset(spec, seed=seed, scale=0.25)
+            trainer = make_trainer(method, attack_model, config)
+            threat = GradientLeakageThreat(trainer, attack_config, compression_ratio=float(ratio))
+            attack = threat.attack(
+                "type2",
+                attack_model.get_weights(),
+                attack_data.features[:1],
+                attack_data.labels[:1],
+                rng=rng,
+            )
+            result.type2_distance[method][float(ratio)] = attack.reconstruction_distance
+    return result

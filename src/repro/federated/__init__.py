@@ -1,0 +1,28 @@
+"""Federated-learning simulation framework."""
+
+from .aggregation import average_weight_lists, fedavg_aggregate, fedsgd_aggregate
+from .client import FederatedClient
+from .compression import compression_savings, prune_update
+from .config import METHODS, FederatedConfig
+from .sampling import sample_clients_fixed, sample_clients_poisson
+from .secure_aggregation import PairwiseMaskingProtocol
+from .server import FederatedServer, RoundResult
+from .simulation import FederatedSimulation, SimulationHistory
+
+__all__ = [
+    "FederatedConfig",
+    "METHODS",
+    "FederatedClient",
+    "FederatedServer",
+    "RoundResult",
+    "FederatedSimulation",
+    "SimulationHistory",
+    "fedsgd_aggregate",
+    "fedavg_aggregate",
+    "average_weight_lists",
+    "sample_clients_fixed",
+    "sample_clients_poisson",
+    "prune_update",
+    "compression_savings",
+    "PairwiseMaskingProtocol",
+]

@@ -1,0 +1,84 @@
+"""Server-side aggregation rules.
+
+The paper considers the two standard rules and notes they are mathematically
+equivalent (Section IV-A):
+
+* **FedSGD** — clients share parameter *updates* ``Delta W_i(t)`` and the
+  server applies ``W(t+1) = W(t) + (1/Kt) * sum_i Delta W_i(t)``;
+* **FedAveraging** — clients share locally updated *models* ``W_i(t)_L`` and
+  the server averages them, ``W(t+1) = (1/Kt) * sum_i W_i(t)_L``.
+
+Both operate on lists of per-layer numpy arrays (the wire format used by
+:class:`repro.federated.server.FederatedServer`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["fedsgd_aggregate", "fedavg_aggregate", "average_weight_lists"]
+
+
+def _validate_uniform_shapes(updates: Sequence[Sequence[np.ndarray]]) -> None:
+    if not updates:
+        raise ValueError("aggregation requires at least one client update")
+    reference = updates[0]
+    for update in updates:
+        if len(update) != len(reference):
+            raise ValueError("client updates have different numbers of layers")
+        for layer, ref_layer in zip(update, reference):
+            if np.shape(layer) != np.shape(ref_layer):
+                raise ValueError(
+                    f"client update layer shape {np.shape(layer)} does not match {np.shape(ref_layer)}"
+                )
+
+
+def average_weight_lists(
+    weight_lists: Sequence[Sequence[np.ndarray]],
+    weights: Optional[Sequence[float]] = None,
+) -> List[np.ndarray]:
+    """Layer-wise (optionally weighted) average of several weight lists."""
+    _validate_uniform_shapes(weight_lists)
+    count = len(weight_lists)
+    if weights is None:
+        coefficients = np.full(count, 1.0 / count)
+    else:
+        coefficients = np.asarray(weights, dtype=np.float64)
+        if coefficients.shape != (count,):
+            raise ValueError(f"expected {count} aggregation weights, got {coefficients.shape}")
+        total = coefficients.sum()
+        if total <= 0:
+            raise ValueError("aggregation weights must sum to a positive value")
+        coefficients = coefficients / total
+    averaged: List[np.ndarray] = []
+    for layer_index in range(len(weight_lists[0])):
+        stacked = np.stack([np.asarray(w[layer_index], dtype=np.float64) for w in weight_lists])
+        averaged.append(np.tensordot(coefficients, stacked, axes=1))
+    return averaged
+
+
+def fedsgd_aggregate(
+    global_weights: Sequence[np.ndarray],
+    client_updates: Sequence[Sequence[np.ndarray]],
+    weights: Optional[Sequence[float]] = None,
+) -> List[np.ndarray]:
+    """FedSGD: add the (weighted) mean client update to the global weights."""
+    mean_update = average_weight_lists(client_updates, weights)
+    if len(global_weights) != len(mean_update):
+        raise ValueError(
+            f"global model has {len(global_weights)} layers but updates have {len(mean_update)}"
+        )
+    return [
+        np.asarray(layer, dtype=np.float64) + delta
+        for layer, delta in zip(global_weights, mean_update)
+    ]
+
+
+def fedavg_aggregate(
+    client_weights: Sequence[Sequence[np.ndarray]],
+    weights: Optional[Sequence[float]] = None,
+) -> List[np.ndarray]:
+    """FedAveraging: (weighted) mean of the locally updated client models."""
+    return average_weight_lists(client_weights, weights)

@@ -1,0 +1,57 @@
+"""Client abstraction for the federated simulation.
+
+A :class:`FederatedClient` owns a private data shard and delegates the actual
+local computation to a local trainer from :mod:`repro.core` (shared across
+clients in the simulation, since clients run sequentially in-process).  The
+separation mirrors the paper's publish-subscribe reference model: the client
+downloads the global weights, trains locally for ``L`` iterations, and shares
+only the resulting parameter update.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["FederatedClient"]
+
+
+class FederatedClient:
+    """One participant of the federated learning task."""
+
+    def __init__(self, client_id: int, dataset: Dataset, trainer) -> None:
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} has an empty data shard")
+        self.client_id = int(client_id)
+        self.dataset = dataset
+        self.trainer = trainer
+
+    @property
+    def num_examples(self) -> int:
+        """Size of the client's private shard (``N_i``)."""
+        return len(self.dataset)
+
+    def local_update(
+        self,
+        global_weights: Sequence[np.ndarray],
+        round_index: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """Run local training for one round and return the resulting update."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return self.trainer.train_client(self.dataset, global_weights, round_index, rng)
+
+    def sample_examples(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample a few private examples (used by the attack harness as ground truth)."""
+        rng = rng if rng is not None else np.random.default_rng()
+        count = min(count, len(self.dataset))
+        indices = rng.choice(len(self.dataset), size=count, replace=False)
+        return self.dataset.features[indices], self.dataset.labels[indices]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FederatedClient(id={self.client_id}, examples={self.num_examples})"

@@ -1,0 +1,57 @@
+"""Communication-efficient federated learning via gradient pruning.
+
+Figure 5 of the paper studies the interaction between gradient-leakage
+defenses and "communication-efficient federated learning by pruning the
+insignificant gradients ... i.e., gradients with very small values".  The
+compression operator here keeps the largest-magnitude fraction of each shared
+update and zeroes the rest, which is the scheme the paper (and the CPL attack
+framework it builds on) uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["prune_update", "compression_savings"]
+
+
+def prune_update(update: Sequence[np.ndarray], compression_ratio: float) -> List[np.ndarray]:
+    """Zero out all but the largest-magnitude fraction of the update.
+
+    Parameters
+    ----------
+    update:
+        Per-layer update arrays.
+    compression_ratio:
+        Fraction of entries to *drop* across the whole update, in ``[0, 1)``.
+        ``0.3`` means the smallest 30% of entries (by absolute value) are set
+        to zero; ``0`` disables pruning.
+    """
+    if not 0.0 <= compression_ratio < 1.0:
+        raise ValueError(f"compression_ratio must lie in [0, 1), got {compression_ratio}")
+    arrays = [np.asarray(layer, dtype=np.float64) for layer in update]
+    if compression_ratio == 0.0:
+        return [np.array(layer, copy=True) for layer in arrays]
+    flat = np.concatenate([layer.reshape(-1) for layer in arrays])
+    if flat.size == 0:
+        return [np.array(layer, copy=True) for layer in arrays]
+    threshold_index = int(np.floor(compression_ratio * flat.size))
+    if threshold_index <= 0:
+        return [np.array(layer, copy=True) for layer in arrays]
+    threshold = np.partition(np.abs(flat), threshold_index - 1)[threshold_index - 1]
+    pruned: List[np.ndarray] = []
+    for layer in arrays:
+        mask = np.abs(layer) > threshold
+        pruned.append(layer * mask)
+    return pruned
+
+
+def compression_savings(update: Sequence[np.ndarray]) -> float:
+    """Fraction of zero entries in an update (the achieved sparsity)."""
+    total = sum(int(np.asarray(layer).size) for layer in update)
+    if total == 0:
+        return 0.0
+    zeros = sum(int(np.sum(np.asarray(layer) == 0.0)) for layer in update)
+    return zeros / total

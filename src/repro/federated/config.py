@@ -1,0 +1,166 @@
+"""Configuration dataclasses for the federated-learning simulation.
+
+A single :class:`FederatedConfig` captures everything needed to reproduce one
+cell of the paper's evaluation tables: the dataset and its synthetic size, the
+client population ``K`` and per-round participation ``Kt``, the local training
+hyper-parameters ``(B, L, eta)``, the training method (non-private, Fed-SDP,
+Fed-CDP, Fed-CDP(decay), DSSGD) and its differential-privacy parameters
+``(C, sigma, delta)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.data.registry import DatasetSpec, get_dataset_spec
+
+__all__ = ["FederatedConfig", "METHODS"]
+
+
+#: Training methods understood by the trainer factory.
+METHODS: Tuple[str, ...] = ("nonprivate", "fed_sdp", "fed_cdp", "fed_cdp_decay", "dssgd")
+
+
+@dataclass
+class FederatedConfig:
+    """Full description of one federated-learning run."""
+
+    #: dataset name from :mod:`repro.data.registry` (``mnist``, ``cifar10``, ...)
+    dataset: str = "mnist"
+    #: training method, one of :data:`METHODS`
+    method: str = "fed_cdp"
+
+    # ----- population ------------------------------------------------
+    #: total number of clients ``K``
+    num_clients: int = 100
+    #: fraction of clients participating per round (``Kt / K``)
+    participation_fraction: float = 0.10
+    #: number of federated rounds ``T``
+    rounds: int = 10
+
+    # ----- local training --------------------------------------------
+    #: local batch size ``B`` (defaults to the Table-I value when ``None``)
+    batch_size: Optional[int] = None
+    #: local iterations ``L`` per round (defaults to the Table-I value when ``None``)
+    local_iterations: Optional[int] = None
+    #: local SGD learning rate ``eta``
+    learning_rate: float = 0.02
+    #: width multiplier for the model architecture (scaled-down experiments)
+    model_scale: float = 1.0
+
+    # ----- synthetic data sizes ----------------------------------------
+    #: number of synthetic training examples to generate
+    num_train_examples: int = 2000
+    #: number of synthetic validation examples to generate
+    num_val_examples: int = 400
+    #: per-client shard size (defaults to the Table-I value when ``None``)
+    data_per_client: Optional[int] = None
+
+    # ----- differential privacy ----------------------------------------
+    #: clipping bound ``C`` (paper default 4)
+    clipping_bound: float = 4.0
+    #: noise multiplier ``sigma`` (paper default 6)
+    noise_scale: float = 6.0
+    #: target broken-guarantee probability ``delta``
+    delta: float = 1e-5
+    #: clipping-decay schedule for Fed-CDP(decay): ``(start, end)``
+    decay_clipping: Tuple[float, float] = (6.0, 2.0)
+    #: whether Fed-SDP sanitises at the server (True) or at each client (False)
+    sdp_server_side: bool = False
+
+    # ----- baselines / extensions --------------------------------------
+    #: fraction of parameters shared by the DSSGD baseline
+    dssgd_share_fraction: float = 0.1
+    #: gradient-pruning compression ratio for communication-efficient FL
+    #: (0 disables compression; 0.3 keeps the largest 30% of update entries)
+    compression_ratio: float = 0.0
+    #: aggregation rule: ``fedsgd`` or ``fedavg``
+    aggregation: str = "fedsgd"
+
+    # ----- bookkeeping ---------------------------------------------------
+    #: global seed controlling data generation, partitioning, sampling, noise
+    seed: int = 0
+    #: evaluate validation accuracy every this many rounds (1 = every round)
+    eval_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"unknown method {self.method!r}; expected one of {METHODS}")
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not 0.0 < self.participation_fraction <= 1.0:
+            raise ValueError("participation_fraction must lie in (0, 1]")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.clipping_bound <= 0:
+            raise ValueError("clipping_bound must be positive")
+        if self.noise_scale < 0:
+            raise ValueError("noise_scale must be non-negative")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError("delta must lie in (0, 1)")
+        if not 0.0 <= self.compression_ratio < 1.0:
+            raise ValueError("compression_ratio must lie in [0, 1)")
+        if not 0.0 < self.dssgd_share_fraction <= 1.0:
+            raise ValueError("dssgd_share_fraction must lie in (0, 1]")
+        if self.aggregation not in ("fedsgd", "fedavg"):
+            raise ValueError("aggregation must be 'fedsgd' or 'fedavg'")
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        # fail fast on typos in the dataset name
+        get_dataset_spec(self.dataset)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> DatasetSpec:
+        """The Table-I specification of the configured dataset."""
+        return get_dataset_spec(self.dataset)
+
+    @property
+    def clients_per_round(self) -> int:
+        """Number of participating clients per round (``Kt``), at least one."""
+        return max(1, int(round(self.participation_fraction * self.num_clients)))
+
+    @property
+    def effective_batch_size(self) -> int:
+        """Local batch size, defaulting to the paper's per-dataset value."""
+        return self.batch_size if self.batch_size is not None else self.spec.batch_size
+
+    @property
+    def effective_local_iterations(self) -> int:
+        """Local iteration count, defaulting to the paper's per-dataset value."""
+        return (
+            self.local_iterations
+            if self.local_iterations is not None
+            else self.spec.local_iterations
+        )
+
+    @property
+    def effective_data_per_client(self) -> int:
+        """Per-client shard size, defaulting to the paper's per-dataset value."""
+        return (
+            self.data_per_client if self.data_per_client is not None else self.spec.data_per_client
+        )
+
+    @property
+    def instance_sampling_rate(self) -> float:
+        """Global example sampling rate ``q = B * Kt / N`` used by the accountant.
+
+        Section V argues that local sampling with replacement across clients
+        can be modelled as global sampling with rate ``B * Kt / N``.
+        """
+        total = self.num_train_examples
+        return min(1.0, self.effective_batch_size * self.clients_per_round / max(total, 1))
+
+    @property
+    def client_sampling_rate(self) -> float:
+        """Client-level sampling rate ``q2 = Kt / K`` used by Fed-SDP accounting."""
+        return self.clients_per_round / self.num_clients
+
+    def with_overrides(self, **kwargs) -> "FederatedConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,55 @@
+"""Per-round client sampling.
+
+Each round the server selects ``Kt`` out of ``K`` subscribed clients.  The
+paper's accounting assumes random sampling; two schemes are provided:
+
+* :func:`sample_clients_fixed` — draw exactly ``Kt`` distinct clients
+  uniformly at random (what the experiments use);
+* :func:`sample_clients_poisson` — include every client independently with
+  probability ``q`` (the idealised Poisson sampling assumed by the moments
+  accountant; used in ablations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["sample_clients_fixed", "sample_clients_poisson"]
+
+
+def sample_clients_fixed(
+    num_clients: int, clients_per_round: int, rng: Optional[np.random.Generator] = None
+) -> List[int]:
+    """Uniformly sample ``clients_per_round`` distinct client indices."""
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if not 0 < clients_per_round <= num_clients:
+        raise ValueError(
+            f"clients_per_round must lie in [1, {num_clients}], got {clients_per_round}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    chosen = rng.choice(num_clients, size=clients_per_round, replace=False)
+    return sorted(int(i) for i in chosen)
+
+
+def sample_clients_poisson(
+    num_clients: int, participation_probability: float, rng: Optional[np.random.Generator] = None
+) -> List[int]:
+    """Include each client independently with the given probability.
+
+    Guaranteed to return at least one client (re-sampling on an empty draw) so
+    a round is never silently skipped.
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if not 0.0 < participation_probability <= 1.0:
+        raise ValueError("participation_probability must lie in (0, 1]")
+    rng = rng if rng is not None else np.random.default_rng()
+    for _ in range(1000):
+        mask = rng.random(num_clients) < participation_probability
+        if mask.any():
+            return [int(i) for i in np.flatnonzero(mask)]
+    # With pathological probabilities fall back to a single uniform client.
+    return [int(rng.integers(0, num_clients))]

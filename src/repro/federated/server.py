@@ -1,0 +1,117 @@
+"""Federated server: client selection, update collection and aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .aggregation import fedavg_aggregate, fedsgd_aggregate
+from .compression import prune_update
+from .sampling import sample_clients_fixed
+
+__all__ = ["RoundResult", "FederatedServer"]
+
+
+@dataclass
+class RoundResult:
+    """Summary of one federated round, recorded by the simulation history."""
+
+    round_index: int
+    selected_clients: List[int]
+    #: mean local training loss across the selected clients
+    mean_loss: float
+    #: mean pre-clipping gradient L2 norm across clients (Figure 3 series)
+    mean_gradient_norm: float
+    #: mean per-iteration local training time in milliseconds (Table III)
+    mean_time_per_iteration_ms: float
+    #: free-form per-round metadata (clipping bound in effect, etc.)
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+
+class FederatedServer:
+    """Coordinates rounds of federated learning over a set of clients.
+
+    Parameters
+    ----------
+    global_weights:
+        Initial global model weights ``W(0)`` (per-layer arrays).
+    aggregation:
+        ``"fedsgd"`` (aggregate shared updates) or ``"fedavg"`` (average
+        shared models); the two are mathematically equivalent here.
+    update_sanitizer:
+        Optional callable applied to every collected client update before
+        aggregation — used for the server-side variant of Fed-SDP.
+    compression_ratio:
+        When positive, each shared update is pruned (communication-efficient
+        FL, Figure 5) before aggregation.
+    """
+
+    def __init__(
+        self,
+        global_weights: Sequence[np.ndarray],
+        aggregation: str = "fedsgd",
+        update_sanitizer: Optional[Callable[[List[np.ndarray], int, np.random.Generator], List[np.ndarray]]] = None,
+        compression_ratio: float = 0.0,
+    ) -> None:
+        if aggregation not in ("fedsgd", "fedavg"):
+            raise ValueError("aggregation must be 'fedsgd' or 'fedavg'")
+        self.global_weights: List[np.ndarray] = [np.array(w, dtype=np.float64, copy=True) for w in global_weights]
+        self.aggregation = aggregation
+        self.update_sanitizer = update_sanitizer
+        self.compression_ratio = float(compression_ratio)
+        self.round_results: List[RoundResult] = []
+
+    # ------------------------------------------------------------------
+    def select_clients(
+        self, num_clients: int, clients_per_round: int, rng: np.random.Generator
+    ) -> List[int]:
+        """Sample the participating clients for a round."""
+        return sample_clients_fixed(num_clients, clients_per_round, rng=rng)
+
+    def run_round(
+        self,
+        clients: Sequence,
+        round_index: int,
+        clients_per_round: int,
+        rng: np.random.Generator,
+    ) -> RoundResult:
+        """Execute one full round: select, train locally, aggregate."""
+        selected = self.select_clients(len(clients), clients_per_round, rng)
+        updates: List[List[np.ndarray]] = []
+        local_models: List[List[np.ndarray]] = []
+        losses: List[float] = []
+        norms: List[float] = []
+        times: List[float] = []
+        metadata: Dict[str, float] = {}
+        for client_index in selected:
+            client = clients[client_index]
+            result = client.local_update(self.global_weights, round_index, rng=rng)
+            delta = result.delta
+            if self.update_sanitizer is not None:
+                delta = self.update_sanitizer(delta, round_index, rng)
+            if self.compression_ratio > 0.0:
+                delta = prune_update(delta, self.compression_ratio)
+            updates.append(delta)
+            local_models.append([w + d for w, d in zip(self.global_weights, delta)])
+            losses.append(result.mean_loss)
+            norms.append(result.mean_gradient_norm)
+            times.append(result.time_per_iteration_ms)
+            metadata.update(result.metadata)
+
+        if self.aggregation == "fedsgd":
+            self.global_weights = fedsgd_aggregate(self.global_weights, updates)
+        else:
+            self.global_weights = fedavg_aggregate(local_models)
+
+        outcome = RoundResult(
+            round_index=round_index,
+            selected_clients=list(selected),
+            mean_loss=float(np.nanmean(losses)) if losses else float("nan"),
+            mean_gradient_norm=float(np.mean(norms)) if norms else 0.0,
+            mean_time_per_iteration_ms=float(np.mean(times)) if times else 0.0,
+            metadata=metadata,
+        )
+        self.round_results.append(outcome)
+        return outcome

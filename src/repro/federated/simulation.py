@@ -1,0 +1,161 @@
+"""End-to-end federated learning simulation.
+
+:class:`FederatedSimulation` ties together the data substrate, the model, the
+local trainers from :mod:`repro.core`, the server and the privacy accountant,
+and produces a :class:`SimulationHistory` with everything the paper's tables
+and figures report: validation accuracy per round, per-iteration training
+cost, the gradient-norm trajectory (Figure 3) and the accumulated privacy
+spending epsilon (Table VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.partition import partition_dataset
+from repro.data.synthetic import generate_train_val
+from repro.nn import build_model_for_dataset, evaluate_accuracy
+from repro.privacy.accountant import MomentsAccountant
+
+from .client import FederatedClient
+from .config import FederatedConfig
+from .server import FederatedServer, RoundResult
+
+__all__ = ["SimulationHistory", "FederatedSimulation"]
+
+
+@dataclass
+class SimulationHistory:
+    """Metrics collected over a federated run."""
+
+    config: FederatedConfig
+    #: validation accuracy indexed by round (only rounds where evaluation ran)
+    accuracy_by_round: Dict[int, float] = field(default_factory=dict)
+    #: per-round summaries from the server
+    rounds: List[RoundResult] = field(default_factory=list)
+    #: privacy spending epsilon after each round (empty for non-private runs)
+    epsilon_by_round: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Validation accuracy after the last evaluated round."""
+        if not self.accuracy_by_round:
+            return float("nan")
+        return self.accuracy_by_round[max(self.accuracy_by_round)]
+
+    @property
+    def final_epsilon(self) -> float:
+        """Privacy spending after the last round (0 for non-private methods)."""
+        if not self.epsilon_by_round:
+            return 0.0
+        return self.epsilon_by_round[max(self.epsilon_by_round)]
+
+    @property
+    def mean_time_per_iteration_ms(self) -> float:
+        """Average per-client per-iteration training cost (Table III)."""
+        values = [r.mean_time_per_iteration_ms for r in self.rounds if r.mean_time_per_iteration_ms > 0]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def gradient_norm_series(self) -> List[float]:
+        """Mean gradient L2 norm per round (the Figure 3 series)."""
+        return [r.mean_gradient_norm for r in self.rounds]
+
+
+class FederatedSimulation:
+    """Builds and runs one federated learning experiment from a config."""
+
+    def __init__(
+        self,
+        config: FederatedConfig,
+        train_dataset=None,
+        val_dataset=None,
+        model=None,
+        trainer=None,
+    ) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+
+        if train_dataset is None or val_dataset is None:
+            train_dataset, val_dataset = generate_train_val(
+                config.spec, config.num_train_examples, config.num_val_examples, seed=config.seed
+            )
+        self.train_dataset = train_dataset
+        self.val_dataset = val_dataset
+
+        self.model = (
+            model
+            if model is not None
+            else build_model_for_dataset(config.spec, seed=config.seed, scale=config.model_scale)
+        )
+
+        if trainer is None:
+            from repro.core.factory import make_trainer  # local import to avoid a cycle
+
+            trainer = make_trainer(config.method, self.model, config)
+        self.trainer = trainer
+
+        shards = partition_dataset(
+            self.train_dataset,
+            config.spec,
+            config.num_clients,
+            rng=self.rng,
+            data_per_client=config.effective_data_per_client,
+        )
+        self.clients = [
+            FederatedClient(client_id, shard, self.trainer) for client_id, shard in enumerate(shards)
+        ]
+
+        sanitizer = None
+        if config.method == "fed_sdp" and config.sdp_server_side:
+            sanitizer = self.trainer.sanitize_update
+        self.server = FederatedServer(
+            self.model.get_weights(),
+            aggregation=config.aggregation,
+            update_sanitizer=sanitizer,
+            compression_ratio=config.compression_ratio,
+        )
+        self.accountant = MomentsAccountant()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: FederatedConfig) -> "FederatedSimulation":
+        """Alias constructor used throughout the examples."""
+        return cls(config)
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> float:
+        """Validation accuracy of the current global model."""
+        self.model.set_weights(self.server.global_weights)
+        return evaluate_accuracy(self.model, self.val_dataset.features, self.val_dataset.labels)
+
+    def run(self, rounds: Optional[int] = None, verbose: bool = False) -> SimulationHistory:
+        """Run the federated training loop and return the collected history."""
+        total_rounds = rounds if rounds is not None else self.config.rounds
+        history = SimulationHistory(config=self.config)
+        is_private = self.config.method in ("fed_sdp", "fed_cdp", "fed_cdp_decay")
+        for round_index in range(total_rounds):
+            result = self.server.run_round(
+                self.clients, round_index, self.config.clients_per_round, self.rng
+            )
+            history.rounds.append(result)
+            if is_private:
+                self.trainer.accumulate_privacy(self.accountant, round_index)
+                history.epsilon_by_round[round_index] = self.accountant.get_epsilon(self.config.delta)
+            if (round_index + 1) % self.config.eval_every == 0 or round_index == total_rounds - 1:
+                accuracy = self.evaluate()
+                history.accuracy_by_round[round_index] = accuracy
+                if verbose:  # pragma: no cover - console convenience
+                    print(
+                        f"[{self.config.method}] round {round_index + 1}/{total_rounds} "
+                        f"accuracy={accuracy:.4f} loss={result.mean_loss:.4f}"
+                    )
+        return history
+
+    # ------------------------------------------------------------------
+    def global_weights(self) -> List[np.ndarray]:
+        """Copies of the current global model weights."""
+        return [np.array(w, copy=True) for w in self.server.global_weights]

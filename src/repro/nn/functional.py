@@ -1,0 +1,209 @@
+"""Functional building blocks for the neural-network layers.
+
+These free functions express the forward computations of dense and
+convolutional layers plus the loss functions entirely in terms of the
+primitive differentiable ops from :mod:`repro.autodiff`, so that any quantity
+computed through them (including gradients used in the attack objective) can
+be differentiated again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autodiff import (
+    Tensor,
+    as_tensor,
+    index_select_last,
+    log,
+    logsumexp,
+    matmul,
+    mean,
+    reshape,
+    softmax,
+    transpose,
+    tsum,
+)
+from repro.autodiff.ops import pad2d
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "conv_output_shape",
+    "flatten",
+    "one_hot",
+    "cross_entropy_with_logits",
+    "mse_loss",
+    "softmax_probabilities",
+]
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight + bias`` for a batch of row vectors."""
+    out = matmul(x, weight)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv_output_shape(
+    spatial: Tuple[int, int], kernel_size: int, stride: int, padding: int
+) -> Tuple[int, int]:
+    """Output spatial size of a 2-D convolution."""
+    height, width = spatial
+    out_h = (height + 2 * padding - kernel_size) // stride + 1
+    out_w = (width + 2 * padding - kernel_size) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution produces empty output for input {spatial}, "
+            f"kernel {kernel_size}, stride {stride}, padding {padding}"
+        )
+    return out_h, out_w
+
+
+# Cache of im2col gather indices keyed by the geometry of the convolution.
+_IM2COL_CACHE: Dict[Tuple[int, int, int, int, int, int], np.ndarray] = {}
+
+
+def _im2col_indices(
+    channels: int, height: int, width: int, kernel_size: int, stride: int, padding: int
+) -> np.ndarray:
+    """Flat gather indices mapping a padded image to its im2col matrix.
+
+    The returned array has one entry per ``(c, kh, kw, oh, ow)`` tuple and
+    indexes into the flattened ``(channels, height + 2p, width + 2p)`` volume.
+    """
+    key = (channels, height, width, kernel_size, stride, padding)
+    cached = _IM2COL_CACHE.get(key)
+    if cached is not None:
+        return cached
+    padded_h = height + 2 * padding
+    padded_w = width + 2 * padding
+    out_h, out_w = conv_output_shape((height, width), kernel_size, stride, padding)
+
+    c_idx, kh_idx, kw_idx = np.meshgrid(
+        np.arange(channels), np.arange(kernel_size), np.arange(kernel_size), indexing="ij"
+    )
+    oh_idx, ow_idx = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+
+    rows = kh_idx.reshape(-1, 1) + stride * oh_idx.reshape(1, -1)
+    cols = kw_idx.reshape(-1, 1) + stride * ow_idx.reshape(1, -1)
+    chan = np.repeat(c_idx.reshape(-1, 1), out_h * out_w, axis=1)
+    flat = chan * (padded_h * padded_w) + rows * padded_w + cols
+    flat = flat.reshape(-1).astype(np.int64)
+    _IM2COL_CACHE[key] = flat
+    return flat
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution over an ``(N, C, H, W)`` batch.
+
+    Implemented as an im2col gather followed by a single matrix product, both
+    of which are primitive differentiable ops, so the convolution supports the
+    second-order gradients required by the reconstruction attack.
+
+    Parameters
+    ----------
+    x:
+        Input batch of shape ``(N, C, H, W)``.
+    weight:
+        Filters of shape ``(F, C, K, K)``.
+    bias:
+        Optional per-filter bias of shape ``(F,)``.
+    """
+    batch, channels, height, width = x.shape
+    filters, w_channels, kernel_size, kernel_size_w = weight.shape
+    if channels != w_channels or kernel_size != kernel_size_w:
+        raise ValueError(
+            f"incompatible conv2d shapes: input {x.shape} vs weight {weight.shape}"
+        )
+    out_h, out_w = conv_output_shape((height, width), kernel_size, stride, padding)
+
+    padded = pad2d(x, padding)
+    padded_flat = reshape(padded, (batch, channels * (height + 2 * padding) * (width + 2 * padding)))
+    indices = _im2col_indices(channels, height, width, kernel_size, stride, padding)
+    cols = index_select_last(padded_flat, indices)
+    ckk = channels * kernel_size * kernel_size
+    cols = reshape(cols, (batch, ckk, out_h * out_w))
+
+    # (CKK, N * OH * OW) so a single 2-D matmul covers the whole batch.
+    cols_matrix = reshape(transpose(cols, (1, 0, 2)), (ckk, batch * out_h * out_w))
+    weight_matrix = reshape(weight, (filters, ckk))
+    out = matmul(weight_matrix, cols_matrix)
+    out = reshape(out, (filters, batch, out_h * out_w))
+    out = transpose(out, (1, 0, 2))
+    out = reshape(out, (batch, filters, out_h, out_w))
+    if bias is not None:
+        out = out + reshape(bias, (1, filters, 1, 1))
+    return out
+
+
+def flatten(x: Tensor) -> Tensor:
+    """Flatten all but the leading (batch) dimension."""
+    batch = x.shape[0]
+    features = int(np.prod(x.shape[1:])) if x.ndim > 1 else 1
+    return reshape(x, (batch, features))
+
+
+def one_hot(labels: Union[np.ndarray, Tensor], num_classes: int) -> np.ndarray:
+    """Return a ``(N, num_classes)`` one-hot numpy encoding of integer labels."""
+    if isinstance(labels, Tensor):
+        labels = labels.numpy()
+    labels = np.asarray(labels).astype(np.int64).reshape(-1)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}); got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def cross_entropy_with_logits(
+    logits: Tensor, labels: Union[np.ndarray, Tensor], reduction: str = "mean"
+) -> Tensor:
+    """Softmax cross-entropy between ``logits`` and integer class ``labels``.
+
+    Computed as ``logsumexp(logits) - logits[label]`` per example, which is
+    numerically stable and fully differentiable (to any order).
+    """
+    num_classes = logits.shape[-1]
+    targets = one_hot(labels, num_classes)
+    lse = logsumexp(logits, axis=-1)
+    picked = tsum(logits * Tensor(targets), axis=-1)
+    per_example = lse - picked
+    if reduction == "mean":
+        return mean(per_example)
+    if reduction == "sum":
+        return tsum(per_example)
+    if reduction == "none":
+        return per_example
+    raise ValueError(f"unknown reduction {reduction!r}; use 'mean', 'sum' or 'none'")
+
+
+def mse_loss(prediction: Tensor, target: Union[np.ndarray, Tensor], reduction: str = "mean") -> Tensor:
+    """Mean squared error loss."""
+    target = as_tensor(target)
+    diff = prediction - target
+    squared = diff * diff
+    if reduction == "mean":
+        return mean(squared)
+    if reduction == "sum":
+        return tsum(squared)
+    if reduction == "none":
+        return squared
+    raise ValueError(f"unknown reduction {reduction!r}; use 'mean', 'sum' or 'none'")
+
+
+def softmax_probabilities(logits: Tensor) -> np.ndarray:
+    """Class probabilities (numpy) for a batch of logits, outside the graph."""
+    return softmax(logits, axis=-1).numpy()

@@ -1,0 +1,51 @@
+"""Seeded weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that the
+federated simulation is fully reproducible: the server seeds the global model
+once and every client starts from identical weights, as in the paper's
+reference model (the server broadcasts ``W(0)``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros_init", "normal_init"]
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return (fan_in, fan_out) for dense and convolutional weight shapes."""
+    if len(shape) == 2:  # dense: (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # conv: (filters, channels, k, k)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    fan = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    return fan, shape[0]
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialization, suited to ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros_init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    del rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+def normal_init(shape: Tuple[int, ...], rng: np.random.Generator, std: float = 0.05) -> np.ndarray:
+    """Plain Gaussian initialization with the given standard deviation."""
+    return rng.normal(0.0, std, size=shape)

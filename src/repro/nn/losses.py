@@ -1,0 +1,41 @@
+"""Loss functions as callable objects (thin wrappers over the functional API)."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+from . import functional as F
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy with integer class labels.
+
+    The per-example (``reduction='none'``) form is what the Fed-CDP trainer
+    differentiates to obtain per-example gradients (Algorithm 2, lines 6-12).
+    """
+
+    def __init__(self, reduction: str = "mean") -> None:
+        if reduction not in {"mean", "sum", "none"}:
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def __call__(self, logits: Tensor, labels: Union[np.ndarray, Tensor]) -> Tensor:
+        return F.cross_entropy_with_logits(logits, labels, reduction=self.reduction)
+
+
+class MSELoss:
+    """Mean squared error (used by regression-style unit tests and examples)."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        if reduction not in {"mean", "sum", "none"}:
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def __call__(self, prediction: Tensor, target: Union[np.ndarray, Tensor]) -> Tensor:
+        return F.mse_loss(prediction, target, reduction=self.reduction)

@@ -1,0 +1,51 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.autodiff import Tensor, no_grad
+
+__all__ = ["accuracy", "evaluate_accuracy", "confusion_matrix"]
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], labels: np.ndarray) -> float:
+    """Fraction of examples whose arg-max prediction matches the label."""
+    if isinstance(logits, Tensor):
+        logits = logits.numpy()
+    labels = np.asarray(labels).reshape(-1)
+    predictions = np.argmax(logits, axis=-1)
+    if predictions.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"got {predictions.shape[0]} predictions for {labels.shape[0]} labels"
+        )
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))
+
+
+def evaluate_accuracy(model, features: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
+    """Accuracy of ``model`` over a dataset, evaluated without building a graph."""
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels).reshape(-1)
+    correct = 0
+    with no_grad():
+        for start in range(0, features.shape[0], batch_size):
+            batch = features[start : start + batch_size]
+            logits = model(Tensor(batch)).numpy()
+            correct += int(np.sum(np.argmax(logits, axis=-1) == labels[start : start + batch_size]))
+    return correct / max(labels.shape[0], 1)
+
+
+def confusion_matrix(logits: Union[Tensor, np.ndarray], labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Confusion matrix with true classes as rows and predictions as columns."""
+    if isinstance(logits, Tensor):
+        logits = logits.numpy()
+    predictions = np.argmax(logits, axis=-1)
+    labels = np.asarray(labels).reshape(-1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for true, predicted in zip(labels, predictions):
+        matrix[int(true), int(predicted)] += 1
+    return matrix

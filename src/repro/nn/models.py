@@ -1,0 +1,146 @@
+"""Model assembly: ``Sequential`` plus the paper's two reference architectures.
+
+Section VII of the paper evaluates
+
+* the three image datasets (MNIST, CIFAR-10, LFW) on *"a multi-layer
+  convolutional neural network with two convolutional layers and one
+  fully-connected layer"*, and
+* the two attribute datasets (Adult, Cancer) on *"a fully-connected model
+  with two hidden layers"*.
+
+:func:`build_image_cnn` and :func:`build_tabular_mlp` construct those models;
+:func:`build_model_for_dataset` dispatches on a dataset specification from
+:mod:`repro.data.registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+from .layers import Conv2D, Dense, Flatten, ReLU
+from .module import Module
+
+__all__ = [
+    "Sequential",
+    "build_image_cnn",
+    "build_tabular_mlp",
+    "build_model_for_dataset",
+]
+
+
+class Sequential(Module):
+    """Compose layers by calling them in order."""
+
+    def __init__(self, layers: Sequence[Module]) -> None:
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+        for index, layer in enumerate(self.layers):
+            setattr(self, f"layer_{index}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def num_layers_with_parameters(self) -> int:
+        """Number of layers carrying trainable parameters (the paper's ``M``)."""
+        return sum(1 for layer in self.layers if layer.parameters())
+
+
+def build_image_cnn(
+    input_shape: Tuple[int, int, int],
+    num_classes: int,
+    conv_channels: Tuple[int, int] = (8, 16),
+    kernel_size: int = 3,
+    stride: int = 1,
+    activation: str = "tanh",
+    seed: int = 0,
+) -> Sequential:
+    """The paper's image model: two conv layers + one fully connected layer.
+
+    The defaults (stride 1, tanh activations) follow the LeNet-style target
+    models of the gradient-leakage literature the paper builds on (DLG and the
+    CPL framework): smooth activations and stride-1 convolutions keep the
+    gradient-matching attack objective well conditioned, which is required for
+    the paper's premise that *non-private* FL leaks training data.  A
+    ``stride=2`` / ``activation="relu"`` variant is available for the
+    architecture ablations.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(channels, height, width)`` of a single example.
+    num_classes:
+        Size of the softmax output.
+    conv_channels:
+        Number of filters in the first and second convolution.
+    kernel_size, stride:
+        Convolution geometry (padding is fixed to 1).
+    activation:
+        ``"tanh"``, ``"relu"`` or ``"sigmoid"``.
+    seed:
+        Seed for deterministic weight initialization.
+    """
+    from .layers import Sigmoid, Tanh
+
+    activations = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid}
+    if activation not in activations:
+        raise ValueError(f"unknown activation {activation!r}; expected one of {sorted(activations)}")
+    act = activations[activation]
+    channels, height, width = input_shape
+    rng = np.random.default_rng(seed)
+    conv1 = Conv2D(channels, conv_channels[0], kernel_size=kernel_size, stride=stride, padding=1, rng=rng)
+    h1, w1 = conv1.output_shape((height, width))
+    conv2 = Conv2D(conv_channels[0], conv_channels[1], kernel_size=kernel_size, stride=stride, padding=1, rng=rng)
+    h2, w2 = conv2.output_shape((h1, w1))
+    flat_features = conv_channels[1] * h2 * w2
+    head = Dense(flat_features, num_classes, rng=rng)
+    return Sequential([conv1, act(), conv2, act(), Flatten(), head])
+
+
+def build_tabular_mlp(
+    num_features: int,
+    num_classes: int,
+    hidden_sizes: Tuple[int, int] = (64, 32),
+    seed: int = 0,
+) -> Sequential:
+    """The paper's attribute-data model: an MLP with two hidden layers."""
+    rng = np.random.default_rng(seed)
+    layers: List[Module] = []
+    previous = num_features
+    for hidden in hidden_sizes:
+        layers.append(Dense(previous, hidden, rng=rng))
+        layers.append(ReLU())
+        previous = hidden
+    layers.append(Dense(previous, num_classes, rng=rng))
+    return Sequential(layers)
+
+
+def build_model_for_dataset(spec, seed: int = 0, scale: float = 1.0) -> Sequential:
+    """Build the paper's architecture for a dataset specification.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`repro.data.registry.DatasetSpec`.
+    seed:
+        Weight initialization seed (the server's global model seed).
+    scale:
+        Width multiplier applied to hidden sizes / channel counts; the scaled
+        experiment harness uses ``scale < 1`` to keep runtimes laptop-friendly.
+    """
+    if spec.is_image:
+        base_channels = (max(2, int(round(8 * scale))), max(3, int(round(16 * scale))))
+        return build_image_cnn(spec.input_shape, spec.num_classes, conv_channels=base_channels, seed=seed)
+    hidden = (max(8, int(round(64 * scale))), max(4, int(round(32 * scale))))
+    return build_tabular_mlp(spec.num_features, spec.num_classes, hidden_sizes=hidden, seed=seed)

@@ -1,0 +1,108 @@
+"""Module base class: parameter registration and weight (de)serialisation.
+
+The federated-learning framework moves model state between the server and the
+simulated clients as plain lists of numpy arrays, so modules expose
+``get_weights``/``set_weights`` in addition to the ``Tensor`` parameter list
+used by optimizers and the DP trainers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`~repro.autodiff.tensor.Tensor` parameters and
+    child ``Module`` instances as attributes; both are registered automatically
+    and traversed by :meth:`parameters`, :meth:`named_parameters`,
+    :meth:`get_weights` and :meth:`set_weights`.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(name, parameter)`` pairs for this module and its children."""
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Tensor]:
+        """Return all trainable parameters as a flat list."""
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Weight (de)serialisation for federated exchange
+    # ------------------------------------------------------------------
+    def get_weights(self) -> List[np.ndarray]:
+        """Return copies of all parameter arrays (server/client message payload)."""
+        return [np.array(param.data, copy=True) for param in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Load parameter arrays in the order produced by :meth:`get_weights`."""
+        params = self.parameters()
+        if len(weights) != len(params):
+            raise ValueError(
+                f"expected {len(params)} weight arrays, got {len(weights)}"
+            )
+        for param, value in zip(params, weights):
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"weight shape mismatch: parameter has {param.shape}, got {value.shape}"
+                )
+            param.data = np.array(value, copy=True)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a name-to-array mapping of all parameters."""
+        return {name: np.array(param.data, copy=True) for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters from a mapping produced by :meth:`state_dict`."""
+        named = dict(self.named_parameters())
+        missing = set(named) - set(state)
+        unexpected = set(state) - set(named)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch; missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            named[name].data = np.array(value, dtype=np.float64, copy=True)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)

@@ -1,0 +1,135 @@
+"""Gradient-descent optimizers.
+
+Two usage patterns are supported:
+
+* ``step()`` — consume the gradients accumulated in ``param.grad`` by
+  :func:`repro.autodiff.backward` (standard training loops);
+* ``step_with_gradients(grads)`` — apply an explicit list of gradient arrays.
+  The differentially private trainers use this form because they construct the
+  sanitized (clipped + noised) gradients themselves before the descent step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class holding the parameter list."""
+
+    def __init__(self, parameters: Sequence[Tensor]) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer requires at least one parameter")
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _collect_grads(self) -> List[np.ndarray]:
+        grads = []
+        for param in self.parameters:
+            if param.grad is None:
+                grads.append(np.zeros_like(param.data))
+            else:
+                grads.append(param.grad.numpy())
+        return grads
+
+    def step(self) -> None:
+        """Apply an update using the gradients stored on the parameters."""
+        self.step_with_gradients(self._collect_grads())
+
+    def step_with_gradients(self, gradients: Sequence[np.ndarray]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    The paper's local training rule (Algorithm 2, line 15) is plain SGD:
+    ``W <- W - eta * grad``; momentum and weight decay are provided for the
+    non-private baselines and ablations.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def step_with_gradients(self, gradients: Sequence[np.ndarray]) -> None:
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"expected {len(self.parameters)} gradients, got {len(gradients)}"
+            )
+        if self.momentum > 0.0 and self._velocity is None:
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        for index, (param, gradient) in enumerate(zip(self.parameters, gradients)):
+            gradient = np.asarray(gradient, dtype=np.float64)
+            if gradient.shape != param.shape:
+                raise ValueError(
+                    f"gradient shape {gradient.shape} does not match parameter {param.shape}"
+                )
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * param.data
+            if self.momentum > 0.0:
+                self._velocity[index] = self.momentum * self._velocity[index] + gradient
+                update = self._velocity[index]
+            else:
+                update = gradient
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (used by the attack ablations and examples)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters)
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step_with_gradients(self, gradients: Sequence[np.ndarray]) -> None:
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"expected {len(self.parameters)} gradients, got {len(gradients)}"
+            )
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1 ** self._step_count
+        correction2 = 1.0 - self.beta2 ** self._step_count
+        for index, (param, gradient) in enumerate(zip(self.parameters, gradients)):
+            gradient = np.asarray(gradient, dtype=np.float64)
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * gradient
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * gradient ** 2
+            m_hat = self._m[index] / correction1
+            v_hat = self._v[index] / correction2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

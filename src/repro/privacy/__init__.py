@@ -1,0 +1,47 @@
+"""Differential-privacy substrate: mechanisms, clipping policies and accounting."""
+
+from .accountant import (
+    DEFAULT_RDP_ORDERS,
+    MomentsAccountant,
+    abadi_asymptotic_epsilon,
+    compute_dp_sgd_epsilon,
+    compute_rdp_subsampled_gaussian,
+    rdp_to_epsilon,
+)
+from .clipping import (
+    ClippingPolicy,
+    ConstantClipping,
+    ExponentialDecayClipping,
+    LinearDecayClipping,
+    MedianNormClipping,
+    clip_by_l2_norm,
+    clip_gradients_per_layer,
+    global_l2_norm,
+    l2_norm,
+)
+from .composition import advanced_composition, amplify_by_subsampling, basic_composition
+from .mechanisms import GaussianMechanism, calibrate_sigma, epsilon_for_sigma
+
+__all__ = [
+    "GaussianMechanism",
+    "calibrate_sigma",
+    "epsilon_for_sigma",
+    "ClippingPolicy",
+    "ConstantClipping",
+    "LinearDecayClipping",
+    "ExponentialDecayClipping",
+    "MedianNormClipping",
+    "clip_by_l2_norm",
+    "clip_gradients_per_layer",
+    "l2_norm",
+    "global_l2_norm",
+    "MomentsAccountant",
+    "compute_dp_sgd_epsilon",
+    "compute_rdp_subsampled_gaussian",
+    "rdp_to_epsilon",
+    "abadi_asymptotic_epsilon",
+    "DEFAULT_RDP_ORDERS",
+    "amplify_by_subsampling",
+    "basic_composition",
+    "advanced_composition",
+]

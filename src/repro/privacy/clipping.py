@@ -1,0 +1,180 @@
+"""Gradient clipping: the L2 projection and the clipping-bound schedules.
+
+Two kinds of objects live here:
+
+* the clipping *operation* — :func:`clip_by_l2_norm` and
+  :func:`clip_gradients_per_layer`, implementing lines 9-12 of Algorithm 2 and
+  lines 7-11 of Algorithm 1 (each layer's gradient block is clipped to L2 norm
+  at most ``C``);
+* clipping-bound *policies* — how ``C`` evolves over the federated rounds.
+  :class:`ConstantClipping` is the conventional choice (``C = 4`` by default,
+  following Abadi et al.), :class:`LinearDecayClipping` implements the paper's
+  Fed-CDP(decay) schedule (linearly decaying ``C`` from 6 to 2 over the
+  training rounds, Section VI), and :class:`MedianNormClipping` implements the
+  median-of-norms heuristic discussed in Section IV-C.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "l2_norm",
+    "global_l2_norm",
+    "clip_by_l2_norm",
+    "clip_gradients_per_layer",
+    "ClippingPolicy",
+    "ConstantClipping",
+    "LinearDecayClipping",
+    "ExponentialDecayClipping",
+    "MedianNormClipping",
+]
+
+
+def l2_norm(value: np.ndarray) -> float:
+    """Flat L2 norm of an array."""
+    return float(np.linalg.norm(np.asarray(value, dtype=np.float64).reshape(-1)))
+
+
+def global_l2_norm(values: Sequence[np.ndarray]) -> float:
+    """L2 norm of the concatenation of several arrays."""
+    return float(np.sqrt(sum(float(np.sum(np.square(v))) for v in values)))
+
+
+def clip_by_l2_norm(value: np.ndarray, bound: float) -> np.ndarray:
+    """Scale ``value`` so its L2 norm is at most ``bound`` (Algorithm 2, line 10).
+
+    Implements ``value / max(1, ||value||_2 / C)``: values inside the ball are
+    untouched, larger ones are radially projected onto the ball.
+    """
+    if bound <= 0:
+        raise ValueError(f"clipping bound must be positive, got {bound}")
+    value = np.asarray(value, dtype=np.float64)
+    norm = l2_norm(value)
+    scale = max(1.0, norm / bound)
+    return value / scale
+
+
+def clip_gradients_per_layer(gradients: Sequence[np.ndarray], bound: float) -> List[np.ndarray]:
+    """Clip each layer's gradient block independently to L2 norm ``bound``.
+
+    The paper clips layer by layer ("a M layer neural network will have M L2
+    norms, one for each layer") for both Fed-SDP and Fed-CDP.
+    """
+    return [clip_by_l2_norm(gradient, bound) for gradient in gradients]
+
+
+class ClippingPolicy:
+    """Schedule of the clipping bound ``C`` over federated rounds."""
+
+    def bound_for_round(self, round_index: int) -> float:  # pragma: no cover - abstract
+        """Clipping bound to use at federated round ``round_index`` (0-based)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description for experiment logs."""
+        return type(self).__name__
+
+
+class ConstantClipping(ClippingPolicy):
+    """Fixed clipping bound (the paper's default, ``C = 4``)."""
+
+    def __init__(self, bound: float = 4.0) -> None:
+        if bound <= 0:
+            raise ValueError(f"clipping bound must be positive, got {bound}")
+        self.bound = float(bound)
+
+    def bound_for_round(self, round_index: int) -> float:
+        return self.bound
+
+    def describe(self) -> str:
+        return f"constant(C={self.bound:g})"
+
+
+class LinearDecayClipping(ClippingPolicy):
+    """Linearly decaying clipping bound, the Fed-CDP(decay) schedule.
+
+    The paper "linearly decay[s] the clipping bound from C=6 to C=2 in 100
+    rounds"; the start/end bounds and horizon are configurable.
+    """
+
+    def __init__(self, start: float = 6.0, end: float = 2.0, total_rounds: int = 100) -> None:
+        if start <= 0 or end <= 0:
+            raise ValueError("clipping bounds must be positive")
+        if total_rounds <= 0:
+            raise ValueError("total_rounds must be positive")
+        self.start = float(start)
+        self.end = float(end)
+        self.total_rounds = int(total_rounds)
+
+    def bound_for_round(self, round_index: int) -> float:
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        progress = min(round_index, self.total_rounds - 1) / max(self.total_rounds - 1, 1)
+        return self.start + (self.end - self.start) * progress
+
+    def describe(self) -> str:
+        return f"linear_decay(C={self.start:g}->{self.end:g} over {self.total_rounds} rounds)"
+
+
+class ExponentialDecayClipping(ClippingPolicy):
+    """Exponentially decaying clipping bound (ablation alternative to linear decay)."""
+
+    def __init__(self, start: float = 6.0, decay_rate: float = 0.99, minimum: float = 1.0) -> None:
+        if start <= 0 or minimum <= 0:
+            raise ValueError("clipping bounds must be positive")
+        if not 0.0 < decay_rate <= 1.0:
+            raise ValueError("decay_rate must lie in (0, 1]")
+        self.start = float(start)
+        self.decay_rate = float(decay_rate)
+        self.minimum = float(minimum)
+
+    def bound_for_round(self, round_index: int) -> float:
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        return max(self.minimum, self.start * (self.decay_rate ** round_index))
+
+    def describe(self) -> str:
+        return f"exp_decay(C0={self.start:g}, rate={self.decay_rate:g}, min={self.minimum:g})"
+
+
+class MedianNormClipping(ClippingPolicy):
+    """Adaptive bound set to the running median of observed gradient norms.
+
+    Section IV-C notes that instead of a preset constant one "can use the
+    median norm of all original updates ... as the clipping bound".  Observed
+    norms are fed in via :meth:`observe`; until any are seen, a fallback bound
+    is used.
+    """
+
+    def __init__(self, fallback: float = 4.0, window: int = 1000) -> None:
+        if fallback <= 0:
+            raise ValueError("fallback bound must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.fallback = float(fallback)
+        self.window = int(window)
+        self._norms: List[float] = []
+
+    def observe(self, norm: float) -> None:
+        """Record an observed (pre-clipping) gradient L2 norm."""
+        if norm < 0:
+            raise ValueError("norms are non-negative")
+        self._norms.append(float(norm))
+        if len(self._norms) > self.window:
+            self._norms = self._norms[-self.window :]
+
+    def observe_gradients(self, gradients: Sequence[np.ndarray]) -> None:
+        """Record the layer-wise norms of a gradient list."""
+        for gradient in gradients:
+            self.observe(l2_norm(gradient))
+
+    def bound_for_round(self, round_index: int) -> float:
+        if not self._norms:
+            return self.fallback
+        return float(np.median(self._norms))
+
+    def describe(self) -> str:
+        return f"median_norm(fallback={self.fallback:g}, window={self.window})"

@@ -1,0 +1,75 @@
+"""Classical composition and subsampling-amplification results.
+
+These implement Definitions 3 and 4 of the paper (privacy amplification by
+subsampling, and sequential composition) plus the advanced composition theorem
+of Dwork & Roth.  They are not used on the accounting hot path — the moments
+accountant in :mod:`repro.privacy.accountant` is strictly tighter — but they
+serve as upper-bound cross-checks in the test suite and in the privacy
+examples, mirroring how the paper positions the moments accountant against
+naive composition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "amplify_by_subsampling",
+    "basic_composition",
+    "advanced_composition",
+]
+
+
+def amplify_by_subsampling(epsilon: float, delta: float, sampling_rate: float) -> Tuple[float, float]:
+    """Privacy amplification by subsampling (Definition 3).
+
+    If a mechanism is ``(epsilon, delta)``-DP, running it on a random
+    subsample drawn with rate ``q`` is
+    ``(log(1 + q (e^epsilon - 1)), q delta)``-DP.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if not 0.0 <= delta < 1.0:
+        raise ValueError("delta must lie in [0, 1)")
+    if not 0.0 < sampling_rate <= 1.0:
+        raise ValueError("sampling rate must lie in (0, 1]")
+    amplified_epsilon = math.log(1.0 + sampling_rate * (math.exp(epsilon) - 1.0))
+    return amplified_epsilon, sampling_rate * delta
+
+
+def basic_composition(guarantees: Iterable[Tuple[float, float]]) -> Tuple[float, float]:
+    """Sequential (basic) composition: epsilons and deltas add up (Definition 4)."""
+    total_epsilon = 0.0
+    total_delta = 0.0
+    for epsilon, delta in guarantees:
+        if epsilon < 0 or delta < 0:
+            raise ValueError("epsilon and delta must be non-negative")
+        total_epsilon += epsilon
+        total_delta += delta
+    return total_epsilon, total_delta
+
+
+def advanced_composition(
+    epsilon: float, delta: float, repetitions: int, delta_prime: float
+) -> Tuple[float, float]:
+    """Advanced composition (Dwork & Roth, Theorem 3.20).
+
+    ``repetitions`` runs of an ``(epsilon, delta)``-DP mechanism satisfy
+    ``(epsilon', k delta + delta_prime)``-DP with
+
+    ``epsilon' = sqrt(2 k ln(1/delta')) epsilon + k epsilon (e^epsilon - 1)``.
+    """
+    if epsilon < 0 or delta < 0:
+        raise ValueError("epsilon and delta must be non-negative")
+    if repetitions < 0:
+        raise ValueError("repetitions must be non-negative")
+    if not 0.0 < delta_prime < 1.0:
+        raise ValueError("delta_prime must lie in (0, 1)")
+    if repetitions == 0:
+        return 0.0, 0.0
+    epsilon_prime = (
+        math.sqrt(2.0 * repetitions * math.log(1.0 / delta_prime)) * epsilon
+        + repetitions * epsilon * (math.exp(epsilon) - 1.0)
+    )
+    return epsilon_prime, repetitions * delta + delta_prime

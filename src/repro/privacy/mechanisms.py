@@ -1,0 +1,94 @@
+"""Noise mechanisms for differential privacy.
+
+Implements the Gaussian mechanism of Definition 2 and its calibration rule
+(Lemma 1): noise with standard deviation ``sigma * S`` added to a function of
+L2-sensitivity ``S`` yields ``(epsilon, delta)``-DP when
+``sigma^2 > 2 log(1.25 / delta) / epsilon^2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["GaussianMechanism", "calibrate_sigma", "epsilon_for_sigma"]
+
+
+def calibrate_sigma(epsilon: float, delta: float) -> float:
+    """Smallest noise multiplier ``sigma`` satisfying Lemma 1 for one release.
+
+    ``sigma^2 > 2 ln(1.25/delta) / epsilon^2`` (valid for ``0 < epsilon < 1``).
+    """
+    if not 0.0 < epsilon:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    return math.sqrt(2.0 * math.log(1.25 / delta)) / epsilon
+
+
+def epsilon_for_sigma(sigma: float, delta: float) -> float:
+    """Inverse of :func:`calibrate_sigma`: epsilon guaranteed by a noise multiplier."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    return math.sqrt(2.0 * math.log(1.25 / delta)) / sigma
+
+
+@dataclass
+class GaussianMechanism:
+    """Additive Gaussian noise calibrated to an L2 sensitivity.
+
+    Parameters
+    ----------
+    noise_scale:
+        The noise multiplier ``sigma`` (the paper's default is 6).
+    sensitivity:
+        The L2 sensitivity ``S``; the paper estimates it with the clipping
+        bound ``C`` (default 4), so the injected noise is ``N(0, sigma^2 C^2)``.
+    """
+
+    noise_scale: float
+    sensitivity: float
+
+    def __post_init__(self) -> None:
+        if self.noise_scale < 0:
+            raise ValueError(f"noise_scale must be non-negative, got {self.noise_scale}")
+        if self.sensitivity < 0:
+            raise ValueError(f"sensitivity must be non-negative, got {self.sensitivity}")
+
+    @property
+    def stddev(self) -> float:
+        """Standard deviation ``sigma * S`` of the injected noise."""
+        return self.noise_scale * self.sensitivity
+
+    def add_noise(self, value: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return ``value`` plus iid Gaussian noise of standard deviation :attr:`stddev`."""
+        rng = rng if rng is not None else np.random.default_rng()
+        value = np.asarray(value, dtype=np.float64)
+        if self.stddev == 0.0:
+            return np.array(value, copy=True)
+        return value + rng.normal(0.0, self.stddev, size=value.shape)
+
+    def add_noise_to_list(
+        self, values: Sequence[np.ndarray], rng: Optional[np.random.Generator] = None
+    ) -> List[np.ndarray]:
+        """Apply :meth:`add_noise` independently to each array in a list.
+
+        This is the layer-wise form used by both Fed-SDP (Algorithm 1, line
+        13) and Fed-CDP (Algorithm 2, line 14), where the model update is a
+        list of per-layer arrays.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        return [self.add_noise(value, rng=rng) for value in values]
+
+    def epsilon(self, delta: float) -> float:
+        """Single-release epsilon implied by this mechanism's noise multiplier."""
+        return epsilon_for_sigma(self.noise_scale, delta)
+
+    def with_sensitivity(self, sensitivity: float) -> "GaussianMechanism":
+        """A copy of this mechanism with a different sensitivity (e.g. a decayed C)."""
+        return GaussianMechanism(self.noise_scale, sensitivity)

@@ -1,0 +1,98 @@
+"""Second-order differentiation tests (``create_graph=True``).
+
+The gradient-inversion attack differentiates a gradient-matching loss with
+respect to the attack seed, which requires gradients of gradients.  These
+tests verify the double-backprop machinery against closed forms and against
+numerical differentiation of the analytic first-order gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, exp, grad, log, matmul, relu, softmax, tsum
+
+from ..conftest import numerical_gradient
+
+
+def test_second_derivative_of_cubic():
+    x = Tensor(np.array([1.5, -2.0, 0.7]), requires_grad=True)
+    y = (x ** 3.0).sum()
+    (g1,) = grad(y, [x], create_graph=True)
+    assert g1.requires_grad
+    (g2,) = grad(g1.sum(), [x])
+    np.testing.assert_allclose(g1.numpy(), 3.0 * x.numpy() ** 2)
+    np.testing.assert_allclose(g2.numpy(), 6.0 * x.numpy())
+
+
+def test_second_derivative_of_exp_product():
+    x = Tensor(np.array([0.3, -0.8]), requires_grad=True)
+    y = (exp(x) * x).sum()
+    (g1,) = grad(y, [x], create_graph=True)
+    (g2,) = grad(g1.sum(), [x])
+    # d/dx (x e^x) = (1 + x) e^x ; d2/dx2 = (2 + x) e^x
+    np.testing.assert_allclose(g1.numpy(), (1 + x.numpy()) * np.exp(x.numpy()))
+    np.testing.assert_allclose(g2.numpy(), (2 + x.numpy()) * np.exp(x.numpy()))
+
+
+def test_mixed_second_derivative_matmul():
+    rng = np.random.default_rng(0)
+    w = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+    x = Tensor(rng.normal(size=(1, 3)), requires_grad=True)
+    y = (matmul(x, w) ** 2.0).sum()
+    (gw,) = grad(y, [w], create_graph=True)
+    # Differentiate a scalar functional of the weight gradient w.r.t. the input.
+    target = Tensor(rng.normal(size=(3, 2)))
+    mismatch = ((gw - target) ** 2.0).sum()
+    (gx,) = grad(mismatch, [x])
+
+    def first_order_then_scalar(x_np: np.ndarray) -> float:
+        xt = Tensor(x_np.reshape(1, 3), requires_grad=True)
+        wt = Tensor(w.numpy(), requires_grad=True)
+        yt = (matmul(xt, wt) ** 2.0).sum()
+        (gwt,) = grad(yt, [wt])
+        return float(np.sum((gwt.numpy() - target.numpy()) ** 2))
+
+    numeric = numerical_gradient(first_order_then_scalar, x.numpy().copy().reshape(1, 3))
+    np.testing.assert_allclose(gx.numpy(), numeric, atol=1e-5, rtol=1e-4)
+
+
+def test_gradient_matching_loss_second_order_with_relu_softmax():
+    """End-to-end shape of the attack objective on a tiny one-layer network."""
+    rng = np.random.default_rng(7)
+    w = Tensor(rng.normal(size=(4, 3)) * 0.5, requires_grad=True)
+    onehot = np.zeros((1, 3))
+    onehot[0, 1] = 1.0
+
+    def model_loss(inp: Tensor) -> Tensor:
+        logits = matmul(relu(inp), w)
+        probs = softmax(logits, axis=1)
+        return -(Tensor(onehot) * log(probs)).sum()
+
+    x_true = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+    (g_true,) = grad(model_loss(x_true), [w])
+
+    # keep the seed strictly positive so the ReLU does not zero out the whole input
+    x_seed = Tensor(np.abs(rng.normal(size=(1, 4))) + 0.1, requires_grad=True)
+    (g_seed,) = grad(model_loss(x_seed), [w], create_graph=True)
+    attack_loss = ((g_seed - g_true.detach()) ** 2.0).sum()
+    (gx,) = grad(attack_loss, [x_seed])
+
+    def numpy_objective(x_np: np.ndarray) -> float:
+        xt = Tensor(x_np.reshape(1, 4), requires_grad=True)
+        (g,) = grad(model_loss(xt), [w])
+        return float(np.sum((g.numpy() - g_true.numpy()) ** 2))
+
+    numeric = numerical_gradient(numpy_objective, x_seed.numpy().copy().reshape(1, 4))
+    np.testing.assert_allclose(gx.numpy(), numeric, atol=1e-4, rtol=1e-3)
+    assert np.linalg.norm(gx.numpy()) > 0.0
+
+
+def test_create_graph_false_detaches_gradients():
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    y = (x ** 2.0).sum()
+    (g,) = grad(y, [x], create_graph=False)
+    assert not g.requires_grad
+    with pytest.raises(ValueError):
+        grad(g.sum(), [x])

@@ -1,0 +1,323 @@
+"""Numerical gradient checks for every primitive autodiff operation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    abs_,
+    broadcast_to,
+    clip_values,
+    crop2d,
+    exp,
+    grad,
+    index_add_last,
+    index_select_last,
+    log,
+    logsumexp,
+    matmul,
+    mean,
+    pad2d,
+    pow_scalar,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+    sqrt,
+    tanh,
+    transpose,
+    tsum,
+)
+
+from ..conftest import assert_gradients_close
+
+
+def test_add_broadcast_gradient(rng):
+    a = rng.normal(size=(3, 4))
+    b = rng.normal(size=(4,))
+
+    def fn_t(x):
+        return ((x + Tensor(b)) * Tensor(2.0)).sum()
+
+    def fn_n(x):
+        return float(np.sum((x + b) * 2.0))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_mul_gradient(rng):
+    a = rng.normal(size=(2, 5))
+    b = rng.normal(size=(2, 5))
+
+    def fn_t(x):
+        return (x * Tensor(b)).sum()
+
+    def fn_n(x):
+        return float(np.sum(x * b))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_div_gradient_both_sides(rng):
+    a = rng.normal(size=(3, 3)) + 3.0
+    b = rng.normal(size=(3, 3)) + 3.0
+
+    def fn_t(x):
+        return (Tensor(a) / x).sum() + (x / Tensor(b)).sum()
+
+    def fn_n(x):
+        return float(np.sum(a / x) + np.sum(x / b))
+
+    assert_gradients_close(fn_t, fn_n, b.copy())
+
+
+def test_pow_gradient(rng):
+    a = np.abs(rng.normal(size=(4,))) + 0.5
+
+    def fn_t(x):
+        return pow_scalar(x, 3.0).sum()
+
+    def fn_n(x):
+        return float(np.sum(x ** 3.0))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_matmul_gradient(rng):
+    a = rng.normal(size=(3, 4))
+    b = rng.normal(size=(4, 2))
+
+    def fn_t(x):
+        return matmul(x, Tensor(b)).sum()
+
+    def fn_n(x):
+        return float(np.sum(x @ b))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+    def fn_t2(x):
+        return matmul(Tensor(a), x).sum()
+
+    def fn_n2(x):
+        return float(np.sum(a @ x))
+
+    assert_gradients_close(fn_t2, fn_n2, b)
+
+
+def test_matmul_rejects_non_2d(rng):
+    a = Tensor(rng.normal(size=(2, 3, 4)))
+    b = Tensor(rng.normal(size=(4, 2)))
+    with pytest.raises(ValueError):
+        matmul(a, b)
+
+
+def test_sum_axis_keepdims_gradient(rng):
+    a = rng.normal(size=(3, 4, 2))
+
+    def fn_t(x):
+        return (tsum(x, axis=(1,), keepdims=True) * Tensor(2.0)).sum()
+
+    def fn_n(x):
+        return float(np.sum(np.sum(x, axis=1, keepdims=True) * 2.0))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_mean_gradient(rng):
+    a = rng.normal(size=(5, 3))
+
+    def fn_t(x):
+        return mean(x, axis=0).sum() * Tensor(3.0)
+
+    def fn_n(x):
+        return float(np.sum(np.mean(x, axis=0)) * 3.0)
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_broadcast_to_gradient(rng):
+    a = rng.normal(size=(1, 4))
+
+    def fn_t(x):
+        return (broadcast_to(x, (3, 4)) * Tensor(np.arange(12.0).reshape(3, 4))).sum()
+
+    def fn_n(x):
+        return float(np.sum(np.broadcast_to(x, (3, 4)) * np.arange(12.0).reshape(3, 4)))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_reshape_transpose_gradient(rng):
+    a = rng.normal(size=(2, 3, 4))
+    w = rng.normal(size=(4, 3, 2))
+
+    def fn_t(x):
+        return (transpose(reshape(x, (2, 3, 4)), (2, 1, 0)) * Tensor(w)).sum()
+
+    def fn_n(x):
+        return float(np.sum(np.transpose(x.reshape(2, 3, 4), (2, 1, 0)) * w))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+@pytest.mark.parametrize(
+    "op_t,op_n,offset",
+    [
+        (exp, np.exp, 0.0),
+        (log, np.log, 2.0),
+        (sqrt, np.sqrt, 2.0),
+        (tanh, np.tanh, 0.0),
+        (abs_, np.abs, 1.0),
+    ],
+)
+def test_elementwise_gradients(rng, op_t, op_n, offset):
+    a = rng.normal(size=(3, 3)) * 0.5 + offset
+
+    def fn_t(x):
+        return op_t(x).sum()
+
+    def fn_n(x):
+        return float(np.sum(op_n(x)))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_sigmoid_gradient(rng):
+    a = rng.normal(size=(6,)) * 3.0
+
+    def fn_t(x):
+        return sigmoid(x).sum()
+
+    def fn_n(x):
+        return float(np.sum(1.0 / (1.0 + np.exp(-x))))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_relu_gradient(rng):
+    a = rng.normal(size=(10,)) + 0.05  # keep away from the kink
+
+    def fn_t(x):
+        return relu(x).sum()
+
+    def fn_n(x):
+        return float(np.sum(np.maximum(x, 0.0)))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_clip_values_gradient(rng):
+    a = rng.normal(size=(8,)) * 2.0
+
+    def fn_t(x):
+        return clip_values(x, -1.0, 1.0).sum()
+
+    def fn_n(x):
+        return float(np.sum(np.clip(x, -1.0, 1.0)))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_pad_crop_gradients(rng):
+    a = rng.normal(size=(2, 1, 3, 3))
+    w = rng.normal(size=(2, 1, 5, 5))
+
+    def fn_t(x):
+        return (pad2d(x, 1) * Tensor(w)).sum()
+
+    def fn_n(x):
+        return float(np.sum(np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1))) * w))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+    b = rng.normal(size=(1, 1, 5, 5))
+    w2 = rng.normal(size=(1, 1, 3, 3))
+
+    def fn_t2(x):
+        return (crop2d(x, 1) * Tensor(w2)).sum()
+
+    def fn_n2(x):
+        return float(np.sum(x[:, :, 1:-1, 1:-1] * w2))
+
+    assert_gradients_close(fn_t2, fn_n2, b)
+
+
+def test_index_select_and_add_gradients(rng):
+    a = rng.normal(size=(2, 6))
+    idx = np.array([0, 3, 3, 5, 1])
+    w = rng.normal(size=(2, 5))
+
+    def fn_t(x):
+        return (index_select_last(x, idx) * Tensor(w)).sum()
+
+    def fn_n(x):
+        return float(np.sum(x[:, idx] * w))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+    b = rng.normal(size=(2, 5))
+    w2 = rng.normal(size=(2, 6))
+
+    def fn_t2(x):
+        return (index_add_last(x, idx, 6) * Tensor(w2)).sum()
+
+    def fn_n2(x):
+        out = np.zeros((2, 6))
+        np.add.at(out, (slice(None), idx), x)
+        return float(np.sum(out * w2))
+
+    assert_gradients_close(fn_t2, fn_n2, b)
+
+
+def test_logsumexp_gradient(rng):
+    a = rng.normal(size=(4, 5)) * 3.0
+
+    def fn_t(x):
+        return logsumexp(x, axis=1).sum()
+
+    def fn_n(x):
+        m = np.max(x, axis=1, keepdims=True)
+        return float(np.sum(np.log(np.sum(np.exp(x - m), axis=1)) + m.squeeze(1)))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_softmax_gradient(rng):
+    a = rng.normal(size=(3, 4))
+    w = rng.normal(size=(3, 4))
+
+    def fn_t(x):
+        return (softmax(x, axis=1) * Tensor(w)).sum()
+
+    def fn_n(x):
+        e = np.exp(x - np.max(x, axis=1, keepdims=True))
+        p = e / e.sum(axis=1, keepdims=True)
+        return float(np.sum(p * w))
+
+    assert_gradients_close(fn_t, fn_n, a)
+
+
+def test_gradient_accumulates_when_input_reused(rng):
+    x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+    y = (x * x + x).sum()
+    (g,) = grad(y, [x])
+    np.testing.assert_allclose(g.numpy(), 2.0 * x.numpy() + 1.0)
+
+
+def test_unused_input_gets_zero_gradient(rng):
+    x = Tensor(rng.normal(size=(2,)), requires_grad=True)
+    z = Tensor(rng.normal(size=(2,)), requires_grad=True)
+    y = (x * x).sum()
+    gx, gz = grad(y, [x, z])
+    np.testing.assert_allclose(gz.numpy(), np.zeros(2))
+    np.testing.assert_allclose(gx.numpy(), 2 * x.numpy())
+
+
+def test_unused_input_raises_when_not_allowed(rng):
+    x = Tensor(rng.normal(size=(2,)), requires_grad=True)
+    z = Tensor(rng.normal(size=(2,)), requires_grad=True)
+    y = (x * x).sum()
+    with pytest.raises(ValueError):
+        grad(y, [z], allow_unused=False)

@@ -1,0 +1,71 @@
+"""Property-based tests (hypothesis) for autodiff invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autodiff import Tensor, grad, logsumexp, softmax
+
+finite_floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+def matrices(rows=st.integers(1, 4), cols=st.integers(1, 4)):
+    return st.tuples(rows, cols).flatmap(
+        lambda shape: arrays(np.float64, shape, elements=finite_floats)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_sum_gradient_is_all_ones(data):
+    x = Tensor(data, requires_grad=True)
+    (g,) = grad(x.sum(), [x])
+    np.testing.assert_allclose(g.numpy(), np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_linearity_of_gradients(data):
+    """grad(a*f + b*g) == a*grad(f) + b*grad(g) for scalar outputs."""
+    x = Tensor(data, requires_grad=True)
+    f = (x * x).sum()
+    g_ = (x * Tensor(3.0)).sum()
+    combined = f * Tensor(2.0) + g_ * Tensor(0.5)
+    (grad_combined,) = grad(combined, [x])
+    (grad_f,) = grad((x * x).sum(), [x])
+    (grad_g,) = grad((x * Tensor(3.0)).sum(), [x])
+    np.testing.assert_allclose(
+        grad_combined.numpy(), 2.0 * grad_f.numpy() + 0.5 * grad_g.numpy(), atol=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_softmax_rows_sum_to_one_and_grad_of_sum_is_zero(data):
+    x = Tensor(data, requires_grad=True)
+    p = softmax(x, axis=1)
+    np.testing.assert_allclose(p.numpy().sum(axis=1), np.ones(data.shape[0]), atol=1e-9)
+    # The row sums are constant (==1), so their gradient w.r.t. the logits vanishes.
+    (g,) = grad(p.sum(), [x])
+    np.testing.assert_allclose(g.numpy(), np.zeros_like(data), atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_logsumexp_upper_bounds_max(data):
+    x = Tensor(data)
+    lse = logsumexp(x, axis=1).numpy()
+    assert np.all(lse >= np.max(data, axis=1) - 1e-9)
+    assert np.all(lse <= np.max(data, axis=1) + np.log(data.shape[1]) + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(), st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+def test_grad_of_scaled_function_scales(data, scale):
+    x = Tensor(data, requires_grad=True)
+    (g1,) = grad((x * x).sum(), [x])
+    (g2,) = grad(((x * x) * Tensor(scale)).sum(), [x])
+    np.testing.assert_allclose(g2.numpy(), scale * g1.numpy(), atol=1e-8)

@@ -1,0 +1,128 @@
+"""Unit tests for the Tensor container, grad mode and the backward() driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    as_tensor,
+    backward,
+    grad,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    ones_like,
+    topological_order,
+    zeros,
+    zeros_like,
+)
+
+
+def test_tensor_construction_and_properties():
+    t = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True, name="weights")
+    assert t.shape == (2, 2)
+    assert t.ndim == 2
+    assert t.size == 4
+    assert t.dtype == np.float64
+    assert t.is_leaf
+    assert t.name == "weights"
+    assert "weights" in repr(t)
+
+
+def test_as_tensor_is_noop_for_tensor():
+    t = Tensor([1.0, 2.0])
+    assert as_tensor(t) is t
+    u = as_tensor([3.0])
+    assert isinstance(u, Tensor)
+
+
+def test_factory_helpers():
+    assert zeros((2, 3)).shape == (2, 3)
+    assert np.all(ones((2,)).numpy() == 1.0)
+    base = Tensor(np.arange(6.0).reshape(2, 3))
+    assert zeros_like(base).shape == (2, 3)
+    assert np.all(ones_like(base.numpy()).numpy() == 1.0)
+
+
+def test_item_and_len():
+    t = Tensor([[5.0]])
+    assert t.item() == 5.0
+    assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+
+def test_detach_and_clone_are_independent():
+    t = Tensor([1.0, 2.0], requires_grad=True)
+    d = t.detach()
+    assert not d.requires_grad
+    c = t.clone()
+    c.data[0] = 99.0
+    assert t.numpy()[0] == 1.0
+
+
+def test_no_grad_disables_graph_recording():
+    x = Tensor([1.0], requires_grad=True)
+    assert is_grad_enabled()
+    with no_grad():
+        assert not is_grad_enabled()
+        y = x * x
+        assert not y.requires_grad
+    assert is_grad_enabled()
+    z = x * x
+    assert z.requires_grad
+
+
+def test_backward_accumulates_into_leaf_grad():
+    x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+    y = (x * x).sum()
+    y.backward()
+    np.testing.assert_allclose(x.grad.numpy(), 2 * x.numpy())
+    # second backward accumulates
+    z = (x * Tensor(3.0)).sum()
+    backward(z)
+    np.testing.assert_allclose(x.grad.numpy(), 2 * x.numpy() + 3.0)
+    x.zero_grad()
+    assert x.grad is None
+
+
+def test_backward_requires_scalar_without_grad_output():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    y = x * x
+    with pytest.raises(ValueError):
+        y.backward()
+    y.backward(grad_output=ones_like(y))
+    np.testing.assert_allclose(x.grad.numpy(), 2 * x.numpy())
+
+
+def test_grad_requires_grad_output_for_non_scalar():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    y = x * x
+    with pytest.raises(ValueError):
+        grad(y, [x])
+
+
+def test_grad_on_non_grad_tensor_raises():
+    x = Tensor([1.0, 2.0])
+    y = x * x
+    with pytest.raises(ValueError):
+        grad(y, [x])
+
+
+def test_topological_order_parents_before_children():
+    x = Tensor([2.0], requires_grad=True)
+    y = x * x
+    z = (y + x).sum()
+    order = topological_order(z)
+    positions = {id(t): i for i, t in enumerate(order)}
+    assert positions[id(x)] < positions[id(y)]
+    assert order[-1] is z
+
+
+def test_deep_graph_does_not_hit_recursion_limit():
+    x = Tensor([1.0], requires_grad=True)
+    y = x
+    for _ in range(3000):
+        y = y + Tensor(0.001)
+    (g,) = grad(y.sum(), [x])
+    np.testing.assert_allclose(g.numpy(), [1.0])

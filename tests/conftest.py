@@ -1,0 +1,50 @@
+"""Shared pytest fixtures and numerical helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference estimate of d fn(x) / dx for a scalar-valued ``fn``.
+
+    ``fn`` receives and must not mutate a numpy array; it returns a float.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grad_est = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = fn(x)
+        x[idx] = orig - eps
+        minus = fn(x)
+        x[idx] = orig
+        grad_est[idx] = (plus - minus) / (2.0 * eps)
+        it.iternext()
+    return grad_est
+
+
+def analytic_gradient(fn, x: np.ndarray) -> np.ndarray:
+    """Gradient of scalar ``fn`` (written with Tensor ops) at ``x`` via autodiff."""
+    t = Tensor(x, requires_grad=True)
+    out = fn(t)
+    (g,) = grad(out, [t])
+    return g.numpy()
+
+
+def assert_gradients_close(fn_tensor, fn_numpy, x: np.ndarray, atol=1e-5, rtol=1e-4) -> None:
+    """Check autodiff gradient of ``fn_tensor`` against finite differences of ``fn_numpy``."""
+    analytic = analytic_gradient(fn_tensor, x)
+    numeric = numerical_gradient(fn_numpy, np.array(x, copy=True))
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,79 @@
+"""Tests for the loss-threshold membership inference audit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, backward
+from repro.core.membership_inference import (
+    MembershipInferenceResult,
+    loss_threshold_attack,
+    per_example_losses,
+)
+from repro.data import generate_tabular_dataset
+from repro.nn import SGD, CrossEntropyLoss, build_tabular_mlp
+
+
+@pytest.fixture(scope="module")
+def overfit_setup():
+    """A model overfit on a small member set, plus a held-out non-member set."""
+    data = generate_tabular_dataset(200, 20, 2, seed=0, class_separation=1.0, noise_level=1.5)
+    members = data.subset(np.arange(40))
+    nonmembers = data.subset(np.arange(100, 160))
+    model = build_tabular_mlp(20, 2, hidden_sizes=(32, 16), seed=0)
+    loss_fn = CrossEntropyLoss()
+    optimizer = SGD(model.parameters(), lr=0.2)
+    for _ in range(150):
+        model.zero_grad()
+        loss = loss_fn(model(Tensor(members.features)), members.labels)
+        backward(loss)
+        optimizer.step()
+    return model, members, nonmembers
+
+
+def test_per_example_losses_match_mean_loss(overfit_setup):
+    model, members, _ = overfit_setup
+    losses = per_example_losses(model, members.features, members.labels)
+    assert losses.shape == (len(members),)
+    mean_loss = CrossEntropyLoss()(model(Tensor(members.features)), members.labels).item()
+    assert np.mean(losses) == pytest.approx(mean_loss, rel=1e-6)
+    with pytest.raises(ValueError):
+        per_example_losses(model, members.features, members.labels[:3])
+
+
+def test_attack_detects_overfit_membership(overfit_setup):
+    model, members, nonmembers = overfit_setup
+    result = loss_threshold_attack(
+        model, members.features, members.labels, nonmembers.features, nonmembers.labels
+    )
+    assert isinstance(result, MembershipInferenceResult)
+    # the overfit model leaks membership: accuracy above the 0.5 coin flip
+    assert result.accuracy > 0.6
+    assert result.advantage > 0.1
+    assert result.mean_member_loss < result.mean_nonmember_loss
+
+
+def test_attack_near_chance_for_untrained_model(overfit_setup):
+    _, members, nonmembers = overfit_setup
+    fresh = build_tabular_mlp(20, 2, hidden_sizes=(32, 16), seed=3)
+    result = loss_threshold_attack(
+        fresh, members.features, members.labels, nonmembers.features, nonmembers.labels
+    )
+    # an untrained model cannot separate members from non-members
+    assert abs(result.advantage) < 0.25
+    assert 0.35 < result.accuracy < 0.65
+
+
+def test_attack_threshold_override_and_validation(overfit_setup):
+    model, members, nonmembers = overfit_setup
+    result = loss_threshold_attack(
+        model, members.features, members.labels, nonmembers.features, nonmembers.labels, threshold=1e9
+    )
+    # with an absurdly large threshold everything is claimed a member
+    assert result.advantage == pytest.approx(0.0)
+    assert result.accuracy == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        loss_threshold_attack(
+            model, members.features[:0], members.labels[:0], nonmembers.features, nonmembers.labels
+        )

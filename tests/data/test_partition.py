@@ -1,0 +1,91 @@
+"""Tests for the non-IID shard partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    generate_image_dataset,
+    get_dataset_spec,
+    partition_by_class_shards,
+    partition_dataset,
+    partition_full_copy,
+)
+
+
+def _toy_dataset(n=200, classes=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, 4)), rng.integers(0, classes, size=n), num_classes=classes)
+
+
+def test_shard_partition_sizes_and_class_skew(rng):
+    data = _toy_dataset()
+    shards = partition_by_class_shards(data, num_clients=8, data_per_client=50, classes_per_client=2, rng=rng)
+    assert len(shards) == 8
+    for shard in shards:
+        assert len(shard) == 50
+        assert shard.num_classes == data.num_classes
+        assert len(shard.classes_present()) <= 2
+
+
+def test_shard_partition_covers_many_classes_overall(rng):
+    data = _toy_dataset()
+    shards = partition_by_class_shards(data, num_clients=20, data_per_client=20, classes_per_client=2, rng=rng)
+    covered = set()
+    for shard in shards:
+        covered.update(shard.classes_present().tolist())
+    assert len(covered) >= 8  # nearly all 10 classes are assigned to someone
+
+
+def test_shard_partition_handles_more_requested_than_available(rng):
+    data = _toy_dataset(n=30, classes=3)
+    shards = partition_by_class_shards(data, num_clients=5, data_per_client=40, classes_per_client=2, rng=rng)
+    assert all(len(shard) == 40 for shard in shards)
+
+
+def test_shard_partition_validation(rng):
+    data = _toy_dataset()
+    with pytest.raises(ValueError):
+        partition_by_class_shards(data, 0, 10, 2, rng=rng)
+    with pytest.raises(ValueError):
+        partition_by_class_shards(data, 2, 0, 2, rng=rng)
+    with pytest.raises(ValueError):
+        partition_by_class_shards(data, 2, 10, 0, rng=rng)
+    with pytest.raises(ValueError):
+        partition_by_class_shards(data, 2, 10, 99, rng=rng)
+
+
+def test_full_copy_partition():
+    data = _toy_dataset(n=40)
+    shards = partition_full_copy(data, 3)
+    assert len(shards) == 3
+    for shard in shards:
+        assert len(shard) == 40
+        np.testing.assert_array_equal(shard.labels, data.labels)
+    with pytest.raises(ValueError):
+        partition_full_copy(data, 0)
+
+
+def test_partition_dataset_respects_spec(rng):
+    mnist_spec = get_dataset_spec("mnist")
+    data = generate_image_dataset(300, mnist_spec.image_shape, mnist_spec.num_classes, seed=0)
+    shards = partition_dataset(data, mnist_spec, num_clients=4, rng=rng, data_per_client=30)
+    assert len(shards) == 4
+    assert all(len(s) == 30 for s in shards)
+    assert all(len(s.classes_present()) <= mnist_spec.classes_per_client for s in shards)
+
+    cancer_spec = get_dataset_spec("cancer")
+    tab = _toy_dataset(n=25, classes=2)
+    copies = partition_dataset(tab, cancer_spec, num_clients=3, rng=rng)
+    assert all(len(c) == 25 for c in copies)
+
+
+def test_partition_is_reproducible_with_seeded_rng():
+    data = _toy_dataset()
+    a = partition_by_class_shards(data, 5, 20, 2, rng=np.random.default_rng(7))
+    b = partition_by_class_shards(data, 5, 20, 2, rng=np.random.default_rng(7))
+    for left, right in zip(a, b):
+        np.testing.assert_array_equal(left.labels, right.labels)
+        np.testing.assert_array_equal(left.features, right.features)

@@ -1,0 +1,85 @@
+"""Property-based tests for the data substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset, generate_tabular_dataset, partition_by_class_shards
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_examples=st.integers(min_value=20, max_value=120),
+    num_features=st.integers(min_value=2, max_value=20),
+    num_classes=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_tabular_generator_invariants(num_examples, num_features, num_classes, seed):
+    data = generate_tabular_dataset(num_examples, num_features, num_classes, seed=seed)
+    assert len(data) == num_examples
+    assert data.features.shape == (num_examples, num_features)
+    assert data.labels.min() >= 0 and data.labels.max() < num_classes
+    assert np.all(np.isfinite(data.features))
+    # determinism: regenerating with the same seed gives the same data
+    again = generate_tabular_dataset(num_examples, num_features, num_classes, seed=seed)
+    np.testing.assert_array_equal(data.features, again.features)
+    np.testing.assert_array_equal(data.labels, again.labels)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_clients=st.integers(min_value=1, max_value=12),
+    data_per_client=st.integers(min_value=4, max_value=40),
+    classes_per_client=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_shard_partition_invariants(num_clients, data_per_client, classes_per_client, seed):
+    rng = np.random.default_rng(seed)
+    base = generate_tabular_dataset(150, 4, 5, seed=seed)
+    shards = partition_by_class_shards(
+        base, num_clients, data_per_client=data_per_client,
+        classes_per_client=classes_per_client, rng=rng,
+    )
+    assert len(shards) == num_clients
+    for shard in shards:
+        # exact shard size, labels drawn from at most the requested class count
+        assert len(shard) == data_per_client
+        assert len(shard.classes_present()) <= classes_per_client
+        assert shard.num_classes == base.num_classes
+        # every shard example exists in the base dataset's label set
+        assert set(shard.labels.tolist()) <= set(base.labels.tolist())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=60),
+    batch_size=st.integers(min_value=1, max_value=10),
+    num_batches=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_batch_sampling_invariants(n, batch_size, num_batches, seed):
+    rng = np.random.default_rng(seed)
+    data = Dataset(np.arange(n, dtype=float).reshape(n, 1), np.arange(n) % 3, num_classes=3)
+    batches = list(data.batches(batch_size, rng=rng, num_batches=num_batches, with_replacement=True))
+    assert len(batches) == num_batches
+    for features, labels in batches:
+        assert features.shape[0] == labels.shape[0] == min(batch_size, n)
+        # batch content always comes from the dataset
+        assert set(features.reshape(-1).tolist()) <= set(range(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=80),
+    fraction=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_split_partitions_every_example_once(n, fraction, seed):
+    rng = np.random.default_rng(seed)
+    data = Dataset(np.arange(n, dtype=float).reshape(n, 1), np.zeros(n), num_classes=2)
+    left, right = data.split(fraction, rng=rng)
+    assert len(left) + len(right) == n
+    combined = np.sort(np.concatenate([left.features.reshape(-1), right.features.reshape(-1)]))
+    np.testing.assert_array_equal(combined, np.arange(n, dtype=float))

@@ -1,0 +1,45 @@
+"""Tests for the experiment harness (profiles, config construction, formatting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SCALE_PROFILES, bench_config, format_table, make_config, quick_config
+from repro.federated import FederatedConfig
+
+
+def test_profiles_exist_and_are_ordered_by_size():
+    assert set(SCALE_PROFILES) == {"quick", "bench"}
+    assert SCALE_PROFILES["quick"].rounds <= SCALE_PROFILES["bench"].rounds
+    assert SCALE_PROFILES["quick"].num_train_examples <= SCALE_PROFILES["bench"].num_train_examples
+
+
+def test_make_config_applies_profile_and_overrides():
+    config = make_config("mnist", "fed_cdp", profile="quick", rounds=2, noise_scale=1.5)
+    assert isinstance(config, FederatedConfig)
+    assert config.rounds == 2
+    assert config.noise_scale == 1.5
+    assert config.num_clients == SCALE_PROFILES["quick"].num_clients
+    assert config.decay_clipping[0] > config.decay_clipping[1]
+
+
+def test_quick_and_bench_helpers():
+    quick = quick_config("adult", "fed_sdp")
+    bench = bench_config("adult", "fed_sdp")
+    assert quick.rounds <= bench.rounds
+    assert quick.method == "fed_sdp"
+    with pytest.raises(ValueError):
+        make_config("adult", "fed_cdp", profile="galactic")
+
+
+def test_format_table_renders_headers_rows_and_floats():
+    text = format_table(
+        [["a", 0.123456, 3], ["b", 1.5, 4]],
+        headers=["name", "value", "count"],
+        title="demo",
+    )
+    lines = text.strip().splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "0.1235" in text
+    assert text.count("\n") >= 4

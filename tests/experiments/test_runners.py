@@ -1,0 +1,126 @@
+"""Smoke/shape tests for the table and figure runners (tiny configurations).
+
+The full-size reproductions live in ``benchmarks/``; here each runner is
+exercised with the smallest possible parameters to validate its structure,
+bookkeeping and formatting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_figure1,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+from repro.experiments.tables import PAPER_TABLE6
+
+
+def test_run_table1_minimal():
+    result = run_table1(datasets=["cancer"], profile="quick")
+    assert len(result.rows) == 1
+    row = result.rows[0]
+    assert row["dataset"] == "cancer"
+    assert 0.0 <= row["measured_accuracy"] <= 1.0
+    assert row["measured_cost_ms"] > 0
+    assert "cancer" in result.formatted()
+
+
+def test_run_table2_minimal():
+    result = run_table2(
+        client_counts=[6], fractions=[0.5], methods=["nonprivate", "fed_cdp"],
+        dataset="adult", profile="quick",
+    )
+    assert set(result.accuracy) == {"nonprivate", "fed_cdp"}
+    for method in result.accuracy:
+        assert (6, 0.5) in result.accuracy[method]
+        assert 0.0 <= result.accuracy[method][(6, 0.5)] <= 1.0
+    assert "K=6" in result.formatted()
+
+
+def test_run_table3_minimal():
+    result = run_table3(methods=["nonprivate", "fed_cdp"], datasets=["cancer"], rounds=1, profile="quick")
+    assert result.time_ms["fed_cdp"]["cancer"] > result.time_ms["nonprivate"]["cancer"]
+    assert result.paper_time_ms["fed_cdp"]["mnist"] == 22.4
+    assert "cancer" in result.formatted()
+
+
+def test_run_table4_and_table5_minimal():
+    sweep_c = run_table4(clipping_bounds=[1.0, 4.0], datasets=["cancer"], profile="quick")
+    assert set(sweep_c.accuracy["cancer"]) == {1.0, 4.0}
+    assert sweep_c.parameter_name == "C"
+    sweep_sigma = run_table5(noise_scales=[0.1, 1.0], datasets=["cancer"], profile="quick")
+    assert set(sweep_sigma.accuracy["cancer"]) == {0.1, 1.0}
+    assert "sigma" in sweep_sigma.formatted()
+
+
+def test_run_table6_matches_paper_within_tolerance():
+    result = run_table6()
+    for key, reference in PAPER_TABLE6.items():
+        computed = result.epsilon[key]
+        for dataset, paper_value in reference.items():
+            if paper_value is None:
+                assert computed[dataset] is None
+            else:
+                assert computed[dataset] == pytest.approx(paper_value, rel=0.2)
+    # Fed-CDP with L=1 spends far less privacy than with L=100
+    assert (
+        result.epsilon[("fed_cdp", "instance", 1)]["mnist"]
+        < result.epsilon[("fed_cdp", "instance", 100)]["mnist"]
+    )
+    assert "fed_sdp" in result.formatted()
+
+
+def test_run_table7_minimal():
+    result = run_table7(
+        datasets=["mnist"], methods=["nonprivate", "fed_cdp"], num_clients=1,
+        batch_size=2, max_attack_iterations=25,
+    )
+    nonprivate_t2 = result.entries[("mnist", "nonprivate", "type2")]
+    cdp_t2 = result.entries[("mnist", "fed_cdp", "type2")]
+    assert nonprivate_t2["reconstruction_distance"] < cdp_t2["reconstruction_distance"]
+    assert "type2" in result.formatted()
+
+
+def test_run_figure1_minimal():
+    result = run_figure1(max_attack_iterations=25)
+    assert result.per_example_reconstruction_distance < 0.3
+    assert result.per_example_attack_iterations <= 25
+    assert "Figure 1" in result.formatted()
+
+
+def test_run_figure3_minimal():
+    result = run_figure3(dataset="cancer", rounds=4, profile="quick")
+    assert len(result.rounds) == 4
+    assert len(result.mean_gradient_norm) == 4
+    assert all(norm >= 0 for norm in result.mean_gradient_norm)
+    assert "round" in result.formatted()
+
+
+def test_run_figure4_minimal():
+    result = run_figure4(
+        dataset="mnist", methods=["nonprivate", "fed_cdp"], leakage_types=["type2"],
+        batch_size=2, max_attack_iterations=20,
+    )
+    assert result.distances[("nonprivate", "type2")] < result.distances[("fed_cdp", "type2")]
+    assert "Figure 4" in result.formatted()
+
+
+def test_run_figure5_minimal():
+    result = run_figure5(
+        dataset="cancer", compression_ratios=[0.0, 0.5], methods=["nonprivate"],
+        max_attack_iterations=10, profile="quick",
+    )
+    assert set(result.accuracy["nonprivate"]) == {0.0, 0.5}
+    assert set(result.type2_distance["nonprivate"]) == {0.0, 0.5}
+    assert "Figure 5" in result.formatted()

@@ -1,0 +1,131 @@
+"""Tests for the federated configuration and the end-to-end simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import quick_config
+from repro.federated import FederatedConfig, FederatedServer, FederatedSimulation
+from repro.federated.client import FederatedClient
+from repro.data import Dataset
+
+
+def test_config_defaults_and_derived_quantities():
+    config = FederatedConfig(dataset="mnist", method="fed_cdp", num_clients=100,
+                             participation_fraction=0.1, num_train_examples=50000)
+    assert config.clients_per_round == 10
+    assert config.effective_batch_size == 5  # Table I MNIST
+    assert config.effective_local_iterations == 100
+    assert config.effective_data_per_client == 500
+    assert config.client_sampling_rate == pytest.approx(0.1)
+    assert config.instance_sampling_rate == pytest.approx(5 * 10 / 50000)
+    assert config.spec.name == "mnist"
+
+
+def test_config_override_helpers():
+    config = quick_config("mnist", "fed_cdp")
+    other = config.with_overrides(method="fed_sdp", noise_scale=1.0)
+    assert other.method == "fed_sdp"
+    assert other.noise_scale == 1.0
+    assert config.method == "fed_cdp"  # original untouched
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"method": "bogus"},
+        {"num_clients": 0},
+        {"participation_fraction": 0.0},
+        {"participation_fraction": 1.5},
+        {"rounds": 0},
+        {"learning_rate": -0.1},
+        {"clipping_bound": 0.0},
+        {"noise_scale": -1.0},
+        {"delta": 1.5},
+        {"compression_ratio": 1.0},
+        {"dssgd_share_fraction": 0.0},
+        {"aggregation": "bogus"},
+        {"eval_every": 0},
+        {"dataset": "unknown-dataset"},
+    ],
+)
+def test_config_validation_rejects_bad_values(kwargs):
+    base = dict(dataset="mnist", method="fed_cdp")
+    base.update(kwargs)
+    with pytest.raises((ValueError, KeyError)):
+        FederatedConfig(**base)
+
+
+def test_client_validation_and_sampling(rng):
+    data = Dataset(rng.normal(size=(10, 4)), rng.integers(0, 2, size=10), num_classes=2)
+    client = FederatedClient(0, data, trainer=None)
+    assert client.num_examples == 10
+    x, y = client.sample_examples(3, rng=rng)
+    assert x.shape == (3, 4) and y.shape == (3,)
+    with pytest.raises(ValueError):
+        FederatedClient(1, data.subset([]), trainer=None)
+
+
+def test_server_rejects_unknown_aggregation(rng):
+    with pytest.raises(ValueError):
+        FederatedServer([np.zeros(3)], aggregation="median")
+
+
+def test_simulation_smoke_nonprivate_learns():
+    config = quick_config("mnist", "nonprivate", rounds=6, eval_every=6, seed=3)
+    simulation = FederatedSimulation(config)
+    history = simulation.run()
+    assert history.final_accuracy > 0.3  # well above 10-class chance
+    assert len(history.rounds) == 6
+    assert history.final_epsilon == 0.0
+    assert history.mean_time_per_iteration_ms > 0
+    assert len(history.gradient_norm_series) == 6
+
+
+def test_simulation_private_methods_track_epsilon():
+    config = quick_config("cancer", "fed_cdp", rounds=3, eval_every=3, seed=0)
+    history = FederatedSimulation(config).run()
+    assert history.final_epsilon > 0
+    epsilons = [history.epsilon_by_round[r] for r in sorted(history.epsilon_by_round)]
+    assert all(b >= a for a, b in zip(epsilons, epsilons[1:]))  # monotone accumulation
+
+
+def test_simulation_is_deterministic_given_seed():
+    config = quick_config("adult", "fed_sdp", rounds=2, eval_every=2, seed=11)
+    first = FederatedSimulation(config).run()
+    second = FederatedSimulation(config).run()
+    assert first.final_accuracy == pytest.approx(second.final_accuracy)
+    for a, b in zip(first.rounds, second.rounds):
+        assert a.selected_clients == b.selected_clients
+        assert a.mean_loss == pytest.approx(b.mean_loss, nan_ok=True)
+
+
+def test_simulation_fedavg_matches_fedsgd():
+    base = quick_config("adult", "nonprivate", rounds=2, eval_every=2, seed=5)
+    sgd_history = FederatedSimulation(base).run()
+    avg_history = FederatedSimulation(base.with_overrides(aggregation="fedavg")).run()
+    assert sgd_history.final_accuracy == pytest.approx(avg_history.final_accuracy)
+
+
+def test_simulation_with_compression_runs():
+    config = quick_config("adult", "nonprivate", rounds=2, eval_every=2, compression_ratio=0.5, seed=2)
+    history = FederatedSimulation(config).run()
+    assert 0.0 <= history.final_accuracy <= 1.0
+
+
+def test_simulation_server_side_fed_sdp():
+    config = quick_config("adult", "fed_sdp", rounds=2, eval_every=2, sdp_server_side=True, seed=2)
+    simulation = FederatedSimulation(config)
+    assert simulation.server.update_sanitizer is not None
+    history = simulation.run()
+    assert history.final_epsilon > 0
+
+
+def test_history_empty_defaults():
+    from repro.federated.simulation import SimulationHistory
+
+    history = SimulationHistory(config=quick_config("mnist", "nonprivate"))
+    assert np.isnan(history.final_accuracy)
+    assert history.final_epsilon == 0.0
+    assert history.mean_time_per_iteration_ms == 0.0

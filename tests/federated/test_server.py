@@ -1,0 +1,99 @@
+"""Direct tests for the FederatedServer round logic (sanitiser hook, compression)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.federated import FederatedServer
+
+
+@dataclass
+class _FakeUpdate:
+    delta: List[np.ndarray]
+    local_weights: List[np.ndarray]
+    num_examples: int = 10
+    mean_loss: float = 1.0
+    mean_gradient_norm: float = 2.0
+    time_per_iteration_ms: float = 3.0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+
+class _FakeClient:
+    """Client returning a constant update, recording how often it was asked."""
+
+    def __init__(self, delta):
+        self.delta = delta
+        self.calls = 0
+
+    def local_update(self, global_weights, round_index, rng=None):
+        self.calls += 1
+        return _FakeUpdate(
+            delta=[np.array(d, copy=True) for d in self.delta],
+            local_weights=[w + d for w, d in zip(global_weights, self.delta)],
+            metadata={"round": float(round_index)},
+        )
+
+
+def _make_clients(deltas):
+    return [_FakeClient(d) for d in deltas]
+
+
+def test_run_round_fedsgd_averages_updates(rng):
+    global_weights = [np.zeros((2, 2)), np.zeros(3)]
+    clients = _make_clients([[np.ones((2, 2)), np.ones(3)], [3 * np.ones((2, 2)), 3 * np.ones(3)]])
+    server = FederatedServer(global_weights, aggregation="fedsgd")
+    result = server.run_round(clients, round_index=0, clients_per_round=2, rng=rng)
+    np.testing.assert_allclose(server.global_weights[0], 2 * np.ones((2, 2)))
+    np.testing.assert_allclose(server.global_weights[1], 2 * np.ones(3))
+    assert result.selected_clients == [0, 1]
+    assert result.mean_loss == pytest.approx(1.0)
+    assert result.mean_gradient_norm == pytest.approx(2.0)
+    assert result.mean_time_per_iteration_ms == pytest.approx(3.0)
+    assert result.metadata["round"] == 0.0
+    assert server.round_results == [result]
+
+
+def test_run_round_fedavg_matches_fedsgd(rng):
+    global_weights = [np.full((2,), 5.0)]
+    deltas = [[np.array([1.0, -1.0])], [np.array([3.0, 1.0])]]
+    sgd_server = FederatedServer(global_weights, aggregation="fedsgd")
+    avg_server = FederatedServer(global_weights, aggregation="fedavg")
+    sgd_server.run_round(_make_clients(deltas), 0, 2, np.random.default_rng(0))
+    avg_server.run_round(_make_clients(deltas), 0, 2, np.random.default_rng(0))
+    np.testing.assert_allclose(sgd_server.global_weights[0], avg_server.global_weights[0])
+
+
+def test_run_round_applies_update_sanitizer(rng):
+    calls = []
+
+    def sanitizer(delta, round_index, generator):
+        calls.append(round_index)
+        return [np.zeros_like(layer) for layer in delta]
+
+    server = FederatedServer([np.zeros(4)], update_sanitizer=sanitizer)
+    clients = _make_clients([[np.ones(4)]])
+    server.run_round(clients, 3, 1, rng)
+    # the sanitizer zeroed every update, so the global model is unchanged
+    np.testing.assert_allclose(server.global_weights[0], np.zeros(4))
+    assert calls == [3]
+
+
+def test_run_round_applies_compression(rng):
+    server = FederatedServer([np.zeros(10)], compression_ratio=0.8)
+    delta = [np.arange(1.0, 11.0)]
+    server.run_round(_make_clients([delta]), 0, 1, rng)
+    # only the largest ~20% of entries survive pruning
+    nonzero = np.count_nonzero(server.global_weights[0])
+    assert nonzero <= 3
+
+
+def test_run_round_subsamples_clients(rng):
+    clients = _make_clients([[np.ones(2)] for _ in range(10)])
+    server = FederatedServer([np.zeros(2)])
+    result = server.run_round(clients, 0, 4, rng)
+    assert len(result.selected_clients) == 4
+    assert sum(c.calls for c in clients) == 4

@@ -1,0 +1,74 @@
+"""Additional tests for the reference architectures and their options."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.data import get_dataset_spec
+from repro.nn import build_image_cnn, build_model_for_dataset, build_tabular_mlp
+
+
+def test_image_cnn_activation_variants_produce_distinct_models(rng):
+    x = Tensor(rng.uniform(size=(2, 1, 28, 28)))
+    outputs = {}
+    for activation in ("tanh", "relu", "sigmoid"):
+        model = build_image_cnn((1, 28, 28), 10, conv_channels=(2, 3), activation=activation, seed=0)
+        out = model(x).numpy()
+        assert out.shape == (2, 10)
+        outputs[activation] = out
+    assert not np.allclose(outputs["tanh"], outputs["relu"])
+    assert not np.allclose(outputs["relu"], outputs["sigmoid"])
+
+
+def test_image_cnn_rejects_unknown_activation():
+    with pytest.raises(ValueError):
+        build_image_cnn((1, 28, 28), 10, activation="swish")
+
+
+def test_image_cnn_stride_two_variant_shapes(rng):
+    model = build_image_cnn((3, 32, 32), 62, conv_channels=(2, 3), stride=2, seed=1)
+    out = model(Tensor(rng.uniform(size=(2, 3, 32, 32))))
+    assert out.shape == (2, 62)
+    # stride-2 model has a much smaller dense head than the stride-1 model
+    stride1 = build_image_cnn((3, 32, 32), 62, conv_channels=(2, 3), stride=1, seed=1)
+    assert model.num_parameters() < stride1.num_parameters()
+
+
+def test_image_cnn_has_three_parameterised_layers():
+    """The paper's architecture: two conv layers + one fully-connected layer."""
+    model = build_image_cnn((1, 28, 28), 10, conv_channels=(2, 3), seed=0)
+    assert model.num_layers_with_parameters() == 3
+
+
+def test_tabular_mlp_has_two_hidden_layers():
+    model = build_tabular_mlp(30, 2, hidden_sizes=(16, 8), seed=0)
+    assert model.num_layers_with_parameters() == 3  # two hidden + output
+    out = model(Tensor(np.zeros((4, 30))))
+    assert out.shape == (4, 2)
+
+
+def test_model_seed_controls_initialization():
+    a = build_image_cnn((1, 28, 28), 10, conv_channels=(2, 3), seed=5)
+    b = build_image_cnn((1, 28, 28), 10, conv_channels=(2, 3), seed=5)
+    c = build_image_cnn((1, 28, 28), 10, conv_channels=(2, 3), seed=6)
+    for wa, wb in zip(a.get_weights(), b.get_weights()):
+        np.testing.assert_array_equal(wa, wb)
+    assert any(not np.allclose(wa, wc) for wa, wc in zip(a.get_weights(), c.get_weights()))
+
+
+@pytest.mark.parametrize("dataset", ["mnist", "cifar10", "lfw", "adult", "cancer"])
+def test_build_model_for_dataset_matches_spec_shapes(dataset, rng):
+    spec = get_dataset_spec(dataset)
+    model = build_model_for_dataset(spec, seed=0, scale=0.3)
+    batch = rng.uniform(size=(2,) + spec.input_shape)
+    out = model(Tensor(batch))
+    assert out.shape == (2, spec.num_classes)
+
+
+def test_model_scale_changes_capacity():
+    spec = get_dataset_spec("mnist")
+    small = build_model_for_dataset(spec, seed=0, scale=0.25)
+    large = build_model_for_dataset(spec, seed=0, scale=1.0)
+    assert small.num_parameters() < large.num_parameters()

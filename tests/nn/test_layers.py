@@ -1,0 +1,165 @@
+"""Unit tests for layers, modules and the functional API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, backward, grad
+from repro.nn import Conv2D, Dense, Flatten, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn import functional as F
+
+from ..conftest import numerical_gradient
+
+
+def test_dense_forward_matches_numpy(rng):
+    layer = Dense(5, 3, rng=np.random.default_rng(0))
+    x = rng.normal(size=(4, 5))
+    out = layer(Tensor(x))
+    expected = x @ layer.weight.numpy() + layer.bias.numpy()
+    np.testing.assert_allclose(out.numpy(), expected)
+
+
+def test_dense_without_bias_has_single_parameter():
+    layer = Dense(5, 3, rng=np.random.default_rng(0), use_bias=False)
+    assert layer.bias is None
+    assert len(layer.parameters()) == 1
+
+
+def test_dense_flattens_higher_rank_input(rng):
+    layer = Dense(12, 2, rng=np.random.default_rng(0))
+    x = rng.normal(size=(3, 3, 4))
+    out = layer(Tensor(x))
+    assert out.shape == (3, 2)
+
+
+def test_conv2d_matches_direct_convolution(rng):
+    """Cross-check the im2col convolution against an explicit nested-loop one."""
+    layer = Conv2D(2, 3, kernel_size=3, stride=1, padding=1, rng=np.random.default_rng(1))
+    x = rng.normal(size=(2, 2, 5, 5))
+    out = layer(Tensor(x)).numpy()
+
+    w = layer.weight.numpy()
+    b = layer.bias.numpy()
+    padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+    expected = np.zeros_like(out)
+    for n in range(2):
+        for f in range(3):
+            for i in range(5):
+                for j in range(5):
+                    patch = padded[n, :, i : i + 3, j : j + 3]
+                    expected[n, f, i, j] = np.sum(patch * w[f]) + b[f]
+    np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+def test_conv2d_stride_and_output_shape(rng):
+    layer = Conv2D(1, 4, kernel_size=3, stride=2, padding=1, rng=np.random.default_rng(2))
+    x = rng.normal(size=(3, 1, 28, 28))
+    out = layer(Tensor(x))
+    assert out.shape == (3, 4, 14, 14)
+    assert layer.output_shape((28, 28)) == (14, 14)
+
+
+def test_conv2d_rejects_mismatched_channels(rng):
+    layer = Conv2D(3, 4, rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        layer(Tensor(rng.normal(size=(1, 2, 8, 8))))
+
+
+def test_conv2d_gradient_check(rng):
+    layer = Conv2D(1, 2, kernel_size=3, stride=1, padding=1, rng=np.random.default_rng(3))
+    x = rng.normal(size=(1, 1, 4, 4))
+
+    def loss_for_weight(w_np: np.ndarray) -> float:
+        saved = layer.weight.data
+        layer.weight.data = w_np.reshape(layer.weight.shape)
+        value = float((layer(Tensor(x)) ** 2.0).sum().item())
+        layer.weight.data = saved
+        return value
+
+    out = (layer(Tensor(x)) ** 2.0).sum()
+    (gw,) = grad(out, [layer.weight])
+    numeric = numerical_gradient(loss_for_weight, layer.weight.numpy().copy())
+    np.testing.assert_allclose(gw.numpy(), numeric.reshape(gw.shape), atol=1e-5, rtol=1e-4)
+
+
+def test_conv2d_input_gradient_check(rng):
+    layer = Conv2D(1, 2, kernel_size=3, stride=2, padding=1, rng=np.random.default_rng(4))
+    x = rng.normal(size=(1, 1, 6, 6))
+
+    def loss_for_input(x_np: np.ndarray) -> float:
+        return float((layer(Tensor(x_np.reshape(1, 1, 6, 6))) ** 2.0).sum().item())
+
+    xt = Tensor(x, requires_grad=True)
+    (gx,) = grad((layer(xt) ** 2.0).sum(), [xt])
+    numeric = numerical_gradient(loss_for_input, x.copy())
+    np.testing.assert_allclose(gx.numpy(), numeric, atol=1e-5, rtol=1e-4)
+
+
+def test_activation_layers(rng):
+    x = rng.normal(size=(3, 4))
+    np.testing.assert_allclose(ReLU()(Tensor(x)).numpy(), np.maximum(x, 0))
+    np.testing.assert_allclose(Tanh()(Tensor(x)).numpy(), np.tanh(x))
+    np.testing.assert_allclose(Sigmoid()(Tensor(x)).numpy(), 1 / (1 + np.exp(-x)), atol=1e-12)
+    assert Flatten()(Tensor(rng.normal(size=(2, 3, 4)))).shape == (2, 12)
+
+
+def test_sequential_composition_and_parameter_collection(rng):
+    model = Sequential([Dense(4, 8, rng=np.random.default_rng(0)), ReLU(), Dense(8, 2, rng=np.random.default_rng(1))])
+    assert len(model) == 3
+    assert model.num_layers_with_parameters() == 2
+    assert len(model.parameters()) == 4  # two weights + two biases
+    out = model(Tensor(rng.normal(size=(5, 4))))
+    assert out.shape == (5, 2)
+    names = [name for name, _ in model.named_parameters()]
+    assert names[0].startswith("layer_0.")
+
+
+def test_module_get_set_weights_roundtrip(rng):
+    model = Sequential([Dense(3, 3, rng=np.random.default_rng(0)), ReLU(), Dense(3, 2, rng=np.random.default_rng(1))])
+    weights = model.get_weights()
+    # mutate, then restore
+    model.set_weights([w * 0 for w in weights])
+    assert all(np.all(w == 0) for w in model.get_weights())
+    model.set_weights(weights)
+    for restored, original in zip(model.get_weights(), weights):
+        np.testing.assert_allclose(restored, original)
+
+
+def test_set_weights_validates_shapes_and_count(rng):
+    model = Sequential([Dense(3, 2, rng=np.random.default_rng(0))])
+    with pytest.raises(ValueError):
+        model.set_weights([np.zeros((3, 2))])  # missing bias
+    with pytest.raises(ValueError):
+        model.set_weights([np.zeros((2, 3)), np.zeros(2)])  # wrong shape
+
+
+def test_state_dict_roundtrip_and_validation():
+    model = Sequential([Dense(3, 2, rng=np.random.default_rng(0))])
+    state = model.state_dict()
+    model.load_state_dict(state)
+    bad = dict(state)
+    bad["nonexistent"] = np.zeros(1)
+    with pytest.raises(ValueError):
+        model.load_state_dict(bad)
+
+
+def test_zero_grad_clears_gradients(rng):
+    model = Sequential([Dense(3, 2, rng=np.random.default_rng(0))])
+    out = (model(Tensor(rng.normal(size=(4, 3)))) ** 2.0).sum()
+    backward(out)
+    assert model.parameters()[0].grad is not None
+    model.zero_grad()
+    assert all(p.grad is None for p in model.parameters())
+
+
+def test_one_hot_and_validation():
+    encoded = F.one_hot(np.array([0, 2, 1]), 3)
+    np.testing.assert_allclose(encoded, np.eye(3)[[0, 2, 1]])
+    with pytest.raises(ValueError):
+        F.one_hot(np.array([3]), 3)
+
+
+def test_num_parameters_counts_scalars():
+    model = Sequential([Dense(4, 5, rng=np.random.default_rng(0)), ReLU(), Dense(5, 2, rng=np.random.default_rng(0))])
+    assert model.num_parameters() == 4 * 5 + 5 + 5 * 2 + 2

@@ -1,0 +1,75 @@
+"""Property-based tests for the privacy primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.privacy import (
+    LinearDecayClipping,
+    clip_by_l2_norm,
+    compute_dp_sgd_epsilon,
+    l2_norm,
+)
+
+vectors = arrays(
+    np.float64,
+    st.integers(1, 30),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(vectors, st.floats(min_value=0.1, max_value=10.0))
+def test_clipping_never_exceeds_bound(vector, bound):
+    clipped = clip_by_l2_norm(vector, bound)
+    assert l2_norm(clipped) <= bound + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(vectors, st.floats(min_value=0.1, max_value=10.0))
+def test_clipping_is_idempotent(vector, bound):
+    once = clip_by_l2_norm(vector, bound)
+    twice = clip_by_l2_norm(once, bound)
+    np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(vectors, st.floats(min_value=0.1, max_value=10.0))
+def test_clipping_preserves_direction_and_small_vectors(vector, bound):
+    clipped = clip_by_l2_norm(vector, bound)
+    norm = l2_norm(vector)
+    if norm <= bound:
+        np.testing.assert_allclose(clipped, vector)
+    else:
+        # scaled copy: cross products vanish component-wise
+        np.testing.assert_allclose(clipped * norm, vector * l2_norm(clipped), atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=0.001, max_value=0.05),
+    st.floats(min_value=1.0, max_value=10.0),
+    st.integers(min_value=1, max_value=2000),
+)
+def test_epsilon_monotone_in_steps(q, sigma, steps):
+    eps_now = compute_dp_sgd_epsilon(q, sigma, steps, 1e-5)
+    eps_later = compute_dp_sgd_epsilon(q, sigma, steps + 100, 1e-5)
+    assert eps_later >= eps_now - 1e-12
+    assert eps_now >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=10.0),
+    st.floats(min_value=0.1, max_value=5.0),
+    st.integers(min_value=2, max_value=500),
+)
+def test_linear_decay_stays_within_endpoints(start, end, rounds):
+    policy = LinearDecayClipping(start=start, end=end, total_rounds=rounds)
+    lower, upper = min(start, end), max(start, end)
+    for t in range(0, rounds + 10, max(rounds // 10, 1)):
+        assert lower - 1e-9 <= policy.bound_for_round(t) <= upper + 1e-9
