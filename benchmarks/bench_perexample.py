@@ -1,0 +1,127 @@
+"""Micro-benchmark: looped vs. vectorized per-example gradients.
+
+Times :func:`repro.nn.perexample.per_example_gradients_looped` (one
+forward/backward per example — the seed implementation of the Fed-CDP hot
+path) against :func:`repro.nn.perexample.per_example_gradients` (one batched
+forward/backward plus per-layer einsum contractions) across batch sizes and
+both of the paper's model families, then writes the trajectory to
+``BENCH_perexample.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_perexample.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_perexample.py --quick    # CI smoke
+
+This is a standalone script (not a pytest module) so it can run without the
+benchmark plugin and emit machine-readable output for trend tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.nn import build_image_cnn, build_tabular_mlp
+from repro.nn.perexample import per_example_gradients, per_example_gradients_looped
+
+
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    fn()  # warm up caches (im2col indices, numpy buffers)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_model(
+    name: str,
+    model,
+    make_batch: Callable[[int, np.random.Generator], tuple],
+    batch_sizes: List[int],
+    repeats: int,
+) -> List[Dict[str, float]]:
+    rng = np.random.default_rng(0)
+    rows: List[Dict[str, float]] = []
+    for batch in batch_sizes:
+        features, labels = make_batch(batch, rng)
+        t_loop = _time(lambda: per_example_gradients_looped(model, features, labels), repeats)
+        t_fast = _time(lambda: per_example_gradients(model, features, labels), repeats)
+        row = {
+            "model": name,
+            "batch_size": batch,
+            "looped_ms": t_loop * 1e3,
+            "vectorized_ms": t_fast * 1e3,
+            "speedup": t_loop / t_fast if t_fast > 0 else float("inf"),
+        }
+        rows.append(row)
+        print(
+            f"{name:>4} B={batch:<4d} looped {row['looped_ms']:9.2f} ms   "
+            f"vectorized {row['vectorized_ms']:8.2f} ms   speedup {row['speedup']:6.1f}x"
+        )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sweep for CI smoke runs")
+    parser.add_argument(
+        "--output", default="BENCH_perexample.json", help="where to write the JSON trajectory"
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        batch_sizes, repeats = [8, 32], 2
+        mlp = build_tabular_mlp(32, 10, hidden_sizes=(32, 16), seed=0)
+        cnn = build_image_cnn((1, 8, 8), 4, conv_channels=(4, 8), seed=0)
+        cnn_shape = (1, 8, 8)
+    else:
+        batch_sizes, repeats = [8, 32, 128], 3
+        mlp = build_tabular_mlp(64, 10, hidden_sizes=(64, 32), seed=0)
+        cnn = build_image_cnn((1, 14, 14), 10, conv_channels=(8, 16), seed=0)
+        cnn_shape = (1, 14, 14)
+
+    def mlp_batch(batch, rng):
+        num_features = mlp.layers[0].in_features
+        return (
+            rng.normal(size=(batch, num_features)),
+            rng.integers(0, mlp.layers[-1].out_features, size=batch),
+        )
+
+    def cnn_batch(batch, rng):
+        return (
+            rng.normal(size=(batch,) + cnn_shape),
+            rng.integers(0, cnn.layers[-1].out_features, size=batch),
+        )
+
+    results = _bench_model("mlp", mlp, mlp_batch, batch_sizes, repeats)
+    results += _bench_model("cnn", cnn, cnn_batch, batch_sizes, repeats)
+
+    payload = {
+        "benchmark": "per_example_gradients",
+        "quick": bool(args.quick),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    # The engine exists to beat the loop; fail loudly if it regresses.
+    mlp_32 = [r for r in results if r["model"] == "mlp" and r["batch_size"] >= 32]
+    floor = min(r["speedup"] for r in mlp_32)
+    if floor < 5.0:
+        raise SystemExit(f"vectorized MLP speedup regressed below 5x at B>=32 (got {floor:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,10 +19,23 @@ DATASETS = ("mnist", "cifar10", "lfw", "adult", "cancer")
 
 
 def test_table3_per_iteration_time_cost(benchmark, report):
+    # The paper's Table III describes the looped per-example implementation
+    # (one forward/backward per example, as in its TensorFlow code), so the
+    # shape assertions run against the looped reference path.
     result = run_once(
-        benchmark, run_table3, methods=METHODS, datasets=DATASETS, rounds=2, profile="bench", seed=0
+        benchmark,
+        run_table3,
+        methods=METHODS,
+        datasets=DATASETS,
+        rounds=2,
+        profile="bench",
+        seed=0,
+        per_example_mode="looped",
     )
-    report("Table III: time cost per local iteration per client (ms)", result.formatted())
+    report(
+        "Table III: time cost per local iteration per client (ms, looped reference)",
+        result.formatted(),
+    )
 
     for dataset in DATASETS:
         nonprivate = result.time_ms["nonprivate"][dataset]
@@ -41,3 +54,21 @@ def test_table3_per_iteration_time_cost(benchmark, report):
 
     # the image datasets are more expensive than the attribute datasets (as in the paper)
     assert result.time_ms["fed_cdp"]["cifar10"] > result.time_ms["fed_cdp"]["adult"]
+
+    # The vectorized per-example engine (the default path) collapses the
+    # per-example overhead the paper measures.  The win is structural on the
+    # MLP datasets (one backward instead of B); on the small bench-profile
+    # CNNs the batched path is memory-bound and roughly at parity, so only an
+    # anti-regression bound is asserted there.
+    vectorized = run_table3(
+        methods=("fed_cdp",), datasets=DATASETS, rounds=2, profile="bench", seed=0,
+        per_example_mode="auto",
+    )
+    report(
+        "Table III addendum: Fed-CDP with the vectorized per-example engine (ms)",
+        vectorized.formatted(),
+    )
+    for dataset in ("adult", "cancer"):
+        assert vectorized.time_ms["fed_cdp"][dataset] < result.time_ms["fed_cdp"][dataset], dataset
+    for dataset in ("mnist", "cifar10", "lfw"):
+        assert vectorized.time_ms["fed_cdp"][dataset] < 1.5 * result.time_ms["fed_cdp"][dataset], dataset

@@ -91,15 +91,10 @@ class GradientLeakageThreat:
         if isinstance(trainer, FedCDPTrainer):
             # Fed-CDP (and decay): every per-example gradient is already noisy
             # before it is averaged, at the client and hence also at the server.
-            per_example, _ = trainer.compute_per_example_gradients(features, labels)
-            sanitized = [
-                trainer.sanitize_per_example_gradient(example, round_index, rng)
-                for example in per_example
-            ]
-            observed = [
-                np.mean([example[layer] for example in sanitized], axis=0)
-                for layer in range(len(sanitized[0]))
-            ]
+            # The whole batch goes through the vectorized stacked pipeline.
+            stack, _ = trainer.compute_per_example_gradient_stack(features, labels)
+            sanitized, _ = trainer.sanitize_per_example_stack(stack, round_index, rng)
+            observed = [layer.mean(axis=0) for layer in sanitized]
         else:
             observed, _ = trainer.compute_batch_gradient(features, labels)
             if isinstance(trainer, FedSDPTrainer):

@@ -385,6 +385,40 @@ def index_select_last(a: ArrayLike, indices: np.ndarray) -> Tensor:
     return Tensor._from_op(a.data[:, indices], (a,), backward, "index_select_last")
 
 
+# ``np.add.at`` disables ufunc buffering and dominates the convolution
+# backward pass.  Because the scatter index array is reused across calls (the
+# im2col cache returns the same object for a given geometry), we precompute a
+# sort-based scatter plan per index array and apply it with a gather plus
+# ``np.add.reduceat`` — both C-speed, buffered operations.  Entries hold a
+# strong reference to the index array, so an ``id`` can never be recycled
+# while its plan is cached.
+_SCATTER_PLAN_CACHE: dict = {}
+_SCATTER_PLAN_CACHE_MAX = 64
+
+
+def _scatter_plan(indices: np.ndarray):
+    """Return ``(order, starts, unique)`` such that summing ``a[:, order]``
+    over the ``starts``-delimited runs yields the scatter-add totals for the
+    distinct target positions ``unique``."""
+    key = id(indices)
+    entry = _SCATTER_PLAN_CACHE.get(key)
+    if entry is not None and entry[0] is indices:
+        return entry[1]
+    order = np.argsort(indices, kind="stable")
+    sorted_indices = indices[order]
+    if sorted_indices.size:
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_indices[1:] != sorted_indices[:-1]))
+        )
+    else:
+        starts = np.empty(0, dtype=np.int64)
+    plan = (order, starts, sorted_indices[starts])
+    if len(_SCATTER_PLAN_CACHE) >= _SCATTER_PLAN_CACHE_MAX:
+        _SCATTER_PLAN_CACHE.clear()
+    _SCATTER_PLAN_CACHE[key] = (indices, plan)
+    return plan
+
+
 def index_add_last(a: ArrayLike, indices: np.ndarray, size: int) -> Tensor:
     """Scatter-add along the last axis: ``out[n, idx[k]] += a[n, k]``."""
     a = as_tensor(a)
@@ -392,8 +426,10 @@ def index_add_last(a: ArrayLike, indices: np.ndarray, size: int) -> Tensor:
         raise ValueError(f"index_add_last expects a 2-D tensor, got shape {a.shape}")
     indices = np.asarray(indices, dtype=np.int64)
     size = int(size)
+    order, starts, unique = _scatter_plan(indices)
     out_data = np.zeros((a.shape[0], size), dtype=a.data.dtype)
-    np.add.at(out_data, (slice(None), indices), a.data)
+    if unique.size:
+        out_data[:, unique] = np.add.reduceat(a.data[:, order], starts, axis=1)
 
     def backward(g: Tensor):
         return (index_select_last(g, indices),)

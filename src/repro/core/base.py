@@ -34,6 +34,11 @@ import numpy as np
 from repro.autodiff import Tensor, grad
 from repro.federated.config import FederatedConfig
 from repro.nn import CrossEntropyLoss, Sequential
+from repro.nn.perexample import (
+    per_example_gradients,
+    per_example_gradients_looped,
+    stack_to_example_lists,
+)
 from repro.privacy.accountant import MomentsAccountant
 from repro.privacy.clipping import global_l2_norm
 
@@ -70,7 +75,11 @@ class LocalTrainerBase:
         self.model = model
         self.config = config
         self.loss_fn = CrossEntropyLoss()
-        self._per_example_loss = CrossEntropyLoss(reduction="mean")
+        #: "auto" uses the vectorized per-example engine when the model has
+        #: per-sample gradient rules; "looped" forces the one-backward-per-
+        #: example reference path (used by the equivalence tests and available
+        #: as an escape hatch for debugging).
+        self.per_example_mode = "auto"
 
     # ------------------------------------------------------------------
     # Gradient computation helpers
@@ -88,29 +97,40 @@ class LocalTrainerBase:
         gradients = grad(loss, params)
         return [g.numpy() for g in gradients], float(loss.item())
 
+    def compute_per_example_gradient_stack(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> Tuple[List[np.ndarray], float]:
+        """Stacked per-example gradients for a batch (Algorithm 2, lines 6-12).
+
+        Returns one ``(B, *param_shape)`` array per model parameter plus the
+        mean loss over the batch.  The hot path is the vectorized engine of
+        :mod:`repro.nn.perexample` (one forward/backward over the whole batch
+        plus per-layer einsum contractions); setting
+        ``self.per_example_mode = "looped"`` forces the
+        one-backward-per-example reference implementation instead, which is
+        also used automatically for models without per-sample rules.
+        """
+        if self.per_example_mode not in ("auto", "looped"):
+            raise ValueError(
+                f"unknown per_example_mode {self.per_example_mode!r}; "
+                "expected 'auto' or 'looped'"
+            )
+        if self.per_example_mode == "looped":
+            return per_example_gradients_looped(self.model, features, labels)
+        return per_example_gradients(self.model, features, labels)
+
     def compute_per_example_gradients(
         self, features: np.ndarray, labels: np.ndarray
     ) -> Tuple[List[List[np.ndarray]], float]:
-        """Per-example gradients for a batch (Algorithm 2, lines 6-12).
+        """Legacy layout: one per-layer gradient list per example.
 
-        Returns a list with one gradient list (per-layer arrays) per example,
-        plus the mean loss over the batch.  With the paper's tiny batch sizes
-        (B between 3 and 5) the per-example loop adds only a small constant
-        factor over the batched backward pass — which is exactly the overhead
-        Table III measures.
+        Thin wrapper over :meth:`compute_per_example_gradient_stack` kept for
+        callers that want example-major gradients (e.g. inspecting a single
+        example's sanitised gradient); new code should prefer the stacked
+        representation, which the DP pipeline consumes without reassembly.
         """
-        params = self.model.parameters()
-        per_example: List[List[np.ndarray]] = []
-        total_loss = 0.0
-        for index in range(features.shape[0]):
-            example = features[index : index + 1]
-            label = labels[index : index + 1]
-            loss = self._loss_on_batch(example, label)
-            gradients = grad(loss, params)
-            per_example.append([g.numpy() for g in gradients])
-            total_loss += float(loss.item())
-        mean_loss = total_loss / max(features.shape[0], 1)
-        return per_example, mean_loss
+        stack, mean_loss = self.compute_per_example_gradient_stack(features, labels)
+        return stack_to_example_lists(stack), mean_loss
 
     # ------------------------------------------------------------------
     # Local training loop

@@ -46,6 +46,8 @@ class FedSDPTrainer(LocalTrainerBase):
         round_index: int,
         rng: np.random.Generator,
     ) -> Tuple[List[np.ndarray], float, float]:
+        # One batched forward/backward; the (vectorized) global norm is the
+        # Figure-3 telemetry, computed from flat dot products per layer.
         gradients, loss = self.compute_batch_gradient(features, labels)
         return gradients, loss, self._global_norm(gradients)
 

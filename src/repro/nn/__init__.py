@@ -8,6 +8,12 @@ from .metrics import accuracy, confusion_matrix, evaluate_accuracy
 from .models import Sequential, build_image_cnn, build_model_for_dataset, build_tabular_mlp
 from .module import Module
 from .optim import SGD, Adam, Optimizer
+from .perexample import (
+    has_per_example_rules,
+    per_example_gradients,
+    per_example_gradients_looped,
+    stack_to_example_lists,
+)
 
 __all__ = [
     "functional",
@@ -34,4 +40,8 @@ __all__ = [
     "he_normal",
     "zeros_init",
     "normal_init",
+    "has_per_example_rules",
+    "per_example_gradients",
+    "per_example_gradients_looped",
+    "stack_to_example_lists",
 ]

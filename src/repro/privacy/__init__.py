@@ -16,8 +16,11 @@ from .clipping import (
     MedianNormClipping,
     clip_by_l2_norm,
     clip_gradients_per_layer,
+    clip_per_example_stack,
     global_l2_norm,
     l2_norm,
+    per_example_global_norms,
+    per_example_layer_norms,
 )
 from .composition import advanced_composition, amplify_by_subsampling, basic_composition
 from .mechanisms import GaussianMechanism, calibrate_sigma, epsilon_for_sigma
@@ -33,6 +36,9 @@ __all__ = [
     "MedianNormClipping",
     "clip_by_l2_norm",
     "clip_gradients_per_layer",
+    "clip_per_example_stack",
+    "per_example_layer_norms",
+    "per_example_global_norms",
     "l2_norm",
     "global_l2_norm",
     "MomentsAccountant",

@@ -16,7 +16,7 @@ Two kinds of objects live here:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +25,9 @@ __all__ = [
     "global_l2_norm",
     "clip_by_l2_norm",
     "clip_gradients_per_layer",
+    "per_example_layer_norms",
+    "per_example_global_norms",
+    "clip_per_example_stack",
     "ClippingPolicy",
     "ConstantClipping",
     "LinearDecayClipping",
@@ -39,8 +42,12 @@ def l2_norm(value: np.ndarray) -> float:
 
 
 def global_l2_norm(values: Sequence[np.ndarray]) -> float:
-    """L2 norm of the concatenation of several arrays."""
-    return float(np.sqrt(sum(float(np.sum(np.square(v))) for v in values)))
+    """L2 norm of the concatenation of several arrays.
+
+    Uses flat dot products (``np.vdot``) per block, which avoids the
+    temporary allocated by ``np.square`` on every call in the training loop.
+    """
+    return float(np.sqrt(sum(float(np.vdot(v, v)) for v in values)))
 
 
 def clip_by_l2_norm(value: np.ndarray, bound: float) -> np.ndarray:
@@ -64,6 +71,68 @@ def clip_gradients_per_layer(gradients: Sequence[np.ndarray], bound: float) -> L
     norms, one for each layer") for both Fed-SDP and Fed-CDP.
     """
     return [clip_by_l2_norm(gradient, bound) for gradient in gradients]
+
+
+# ----------------------------------------------------------------------
+# Vectorized forms operating on a stacked per-example representation:
+# one ``(B, *param_shape)`` array per layer, as produced by
+# :func:`repro.nn.perexample.per_example_gradients`.
+# ----------------------------------------------------------------------
+def per_example_layer_norms(stack: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Per-example L2 norm of each layer block: a ``(B,)`` array per layer.
+
+    One einsum contraction per layer replaces the ``B * num_layers`` Python
+    ``np.linalg.norm`` calls of the looped path.
+    """
+    norms: List[np.ndarray] = []
+    for layer in stack:
+        flat = np.asarray(layer, dtype=np.float64).reshape(layer.shape[0], -1)
+        norms.append(np.sqrt(np.einsum("bi,bi->b", flat, flat)))
+    return norms
+
+
+def per_example_global_norms(
+    stack: Optional[Sequence[np.ndarray]] = None,
+    layer_norms: Optional[Sequence[np.ndarray]] = None,
+) -> np.ndarray:
+    """Per-example L2 norm over the concatenation of all layers: shape ``(B,)``.
+
+    Pass ``layer_norms`` (from :func:`per_example_layer_norms` or
+    :func:`clip_per_example_stack`) to reuse norms the clipping step already
+    computed instead of touching the gradient stack again.
+    """
+    if layer_norms is None:
+        if stack is None:
+            raise ValueError("provide either a gradient stack or precomputed layer norms")
+        layer_norms = per_example_layer_norms(stack)
+    squared = np.zeros_like(np.asarray(layer_norms[0], dtype=np.float64))
+    for norms in layer_norms:
+        squared = squared + np.square(norms)
+    return np.sqrt(squared)
+
+
+def clip_per_example_stack(
+    stack: Sequence[np.ndarray], bound: float
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Clip every example's layer blocks to L2 norm ``bound`` in one pass.
+
+    Vectorized form of applying :func:`clip_gradients_per_layer` to each
+    example of the stack: all ``B`` scale factors of a layer are computed from
+    one einsum and applied with one broadcasted multiply.
+
+    Returns ``(clipped_stack, pre_clip_layer_norms)`` so callers (Fed-CDP's
+    Figure-3 norm telemetry, :class:`MedianNormClipping`) can reuse the norms
+    without recomputing them.
+    """
+    if bound <= 0:
+        raise ValueError(f"clipping bound must be positive, got {bound}")
+    layer_norms = per_example_layer_norms(stack)
+    clipped: List[np.ndarray] = []
+    for layer, norms in zip(stack, layer_norms):
+        scale = np.maximum(1.0, norms / bound)
+        shape = (layer.shape[0],) + (1,) * (np.asarray(layer).ndim - 1)
+        clipped.append(np.asarray(layer, dtype=np.float64) / scale.reshape(shape))
+    return clipped, layer_norms
 
 
 class ClippingPolicy:

@@ -85,6 +85,36 @@ class GaussianMechanism:
         rng = rng if rng is not None else np.random.default_rng()
         return [self.add_noise(value, rng=rng) for value in values]
 
+    def add_noise_to_stack(
+        self, stack: Sequence[np.ndarray], rng: Optional[np.random.Generator] = None
+    ) -> List[np.ndarray]:
+        """Noise a stacked per-example representation in a single RNG call.
+
+        ``stack`` holds one ``(B, *param_shape)`` array per layer (the output
+        of :func:`repro.nn.perexample.per_example_gradients`).  All
+        ``B * sum(param sizes)`` Gaussian draws happen in one flat
+        ``(B, total)`` request that is then sliced per layer, so the consumed
+        RNG stream is **identical** to looping over examples and calling
+        :meth:`add_noise_to_list` on each example's per-layer gradients —
+        a fixed seed yields a bitwise-identical sanitized update on either
+        path.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        if self.stddev == 0.0:
+            return [np.array(value, dtype=np.float64, copy=True) for value in stack]
+        if not stack:
+            return []
+        batch = stack[0].shape[0]
+        sizes = [int(np.prod(value.shape[1:], dtype=np.int64)) for value in stack]
+        flat_noise = rng.normal(0.0, self.stddev, size=(batch, int(sum(sizes))))
+        noised: List[np.ndarray] = []
+        offset = 0
+        for value, size in zip(stack, sizes):
+            noise = flat_noise[:, offset : offset + size].reshape(value.shape)
+            noised.append(np.asarray(value, dtype=np.float64) + noise)
+            offset += size
+        return noised
+
     def epsilon(self, delta: float) -> float:
         """Single-release epsilon implied by this mechanism's noise multiplier."""
         return epsilon_for_sigma(self.noise_scale, delta)

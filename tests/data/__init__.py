@@ -1,0 +1,1 @@
+"""Test package marker so shared helpers in tests/conftest.py are importable."""
