@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""CI smoke timing: serial vs. multiprocessing client execution.
+
+Runs the same Fed-CDP simulation twice — once on the ``serial`` backend, once
+on the ``multiprocessing`` backend — checks the two histories agree (the
+executor-equivalence guarantee), prints both wall-clocks, and writes
+``BENCH_parallel.json``.
+
+On a multi-core machine the parallel run must beat the serial wall-clock,
+and the script exits non-zero if it does not (that is the CI gate).  On a
+single-core machine the comparison is reported but not enforced — there is
+nothing for the pool to exploit.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_smoke.py [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.experiments.harness import make_config
+from repro.federated import FederatedSimulation
+
+
+def _smoke_config(seed: int):
+    """A round with enough per-client work for parallelism to pay off.
+
+    Fed-CDP with full-scale models and 25 local iterations per client: ~6 s
+    serial on one laptop core, dominated by per-example gradient work that is
+    embarrassingly parallel across the 4 clients of each round.
+    """
+    return make_config(
+        "mnist",
+        "fed_cdp",
+        profile="quick",
+        num_clients=8,
+        participation_fraction=0.5,
+        rounds=3,
+        local_iterations=25,
+        batch_size=16,
+        model_scale=1.0,
+        num_train_examples=400,
+        data_per_client=50,
+        eval_every=3,
+        seed=seed,
+    )
+
+
+def _timed_run(config):
+    started = time.perf_counter()
+    with FederatedSimulation(config) as simulation:
+        history = simulation.run()
+    return history, time.perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None, help="pool size (default: min(4, cpus))")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_parallel.json")
+    parser.add_argument(
+        "--no-assert", action="store_true", help="report timings without enforcing the speedup gate"
+    )
+    args = parser.parse_args()
+
+    cpus = os.cpu_count() or 1
+    # cap at the core count: oversubscribing a small CI runner only adds
+    # scheduling noise to a timing gate
+    workers = min(args.workers, cpus) if args.workers is not None else min(4, cpus)
+    workers = max(1, workers)
+    config = _smoke_config(args.seed)
+
+    serial_history, serial_seconds = _timed_run(config)
+    parallel_history, parallel_seconds = _timed_run(
+        config.with_overrides(executor="multiprocessing", num_workers=workers)
+    )
+
+    if serial_history.final_accuracy != parallel_history.final_accuracy:
+        print(
+            "[bench_parallel] FAIL backends disagree: "
+            f"serial accuracy {serial_history.final_accuracy} != "
+            f"parallel accuracy {parallel_history.final_accuracy}",
+            file=sys.stderr,
+        )
+        return 1
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    print(
+        f"[bench_parallel] serial {serial_seconds:.2f}s | "
+        f"multiprocessing({workers} workers) {parallel_seconds:.2f}s | "
+        f"speedup {speedup:.2f}x on {cpus} cpu(s); histories identical"
+    )
+
+    payload = {
+        "benchmark": "parallel_simulation_smoke",
+        "cpus": cpus,
+        "workers": workers,
+        "python": platform.python_version(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "final_accuracy": serial_history.final_accuracy,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[bench_parallel] wrote {args.output}")
+
+    if cpus >= 2 and not args.no_assert:
+        if parallel_seconds >= serial_seconds:
+            print(
+                f"[bench_parallel] FAIL parallel run ({parallel_seconds:.2f}s) did not beat "
+                f"serial ({serial_seconds:.2f}s) on a {cpus}-cpu machine",
+                file=sys.stderr,
+            )
+            return 1
+        print("[bench_parallel] parallel beats serial — gate holds")
+    elif cpus < 2:
+        print("[bench_parallel] single cpu: speedup gate skipped (informational run)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare BENCH_perexample.json against committed floors.
+
+Run after ``benchmarks/bench_perexample.py`` (any sweep size)::
+
+    PYTHONPATH=src python benchmarks/bench_perexample.py --quick
+    python benchmarks/check_regression.py
+
+Exits non-zero when the vectorized/looped speedup drops below the floors in
+``benchmarks/thresholds.json`` — the floor the CI pipeline enforces on every
+push.  The floors are deliberately conservative relative to the measured
+speedups so shared CI runners don't flake; tighten them when the hot path
+gets faster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _speedup_floor(results, model: str, min_batch: int) -> float:
+    """Smallest measured speedup for ``model`` at batch sizes >= ``min_batch``."""
+    rows = [r for r in results if r["model"] == model and r["batch_size"] >= min_batch]
+    if not rows:
+        raise SystemExit(f"no {model} rows with batch_size >= {min_batch} in the benchmark output")
+    return min(r["speedup"] for r in rows)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", default="BENCH_perexample.json", help="benchmark JSON produced by bench_perexample.py"
+    )
+    parser.add_argument(
+        "--thresholds",
+        default=os.path.join(HERE, "thresholds.json"),
+        help="committed thresholds file",
+    )
+    args = parser.parse_args()
+
+    with open(args.bench) as handle:
+        bench = json.load(handle)
+    with open(args.thresholds) as handle:
+        thresholds = json.load(handle)["per_example"]
+
+    results = bench["results"]
+    checks = [
+        ("mlp speedup @ B>=32", _speedup_floor(results, "mlp", 32), thresholds["mlp_min_speedup_b32"]),
+        ("cnn speedup @ B>=8", _speedup_floor(results, "cnn", 8), thresholds["cnn_min_speedup_b8"]),
+    ]
+
+    failed = False
+    for label, measured, floor in checks:
+        status = "OK " if measured >= floor else "FAIL"
+        print(f"[check_regression] {status} {label}: measured {measured:.2f}x, floor {floor:.2f}x")
+        if measured < floor:
+            failed = True
+
+    if failed:
+        print("[check_regression] benchmark regression detected", file=sys.stderr)
+        return 1
+    print("[check_regression] all speedup floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,6 @@ bound, and all variants stay resilient to type-2 leakage.
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
 from repro.core import FedCDPTrainer

@@ -19,6 +19,8 @@ Runtime: ~1-2 minutes.
 Run with::
 
     python examples/communication_efficient_fl.py [--ratios 0 0.3 0.6]
+
+(The bare Figure-5 series is also available as ``python -m repro figures 5``.)
 """
 
 from __future__ import annotations

@@ -15,6 +15,8 @@ model, so it runs in a couple of seconds:
 Run with::
 
     python examples/privacy_accounting_study.py
+
+(The bare Table-VI rendering is also available as ``python -m repro tables 6``.)
 """
 
 from __future__ import annotations

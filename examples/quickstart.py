@@ -4,27 +4,36 @@
 This example walks through the core public API:
 
 1. build a :class:`repro.federated.FederatedConfig` describing the federated
-   task (dataset, client population, local training and DP parameters);
+   task (dataset, client population, local training and DP parameters) from a
+   scale profile via :func:`repro.experiments.make_config`;
 2. run a :class:`repro.federated.FederatedSimulation` for each training method
-   (non-private, Fed-SDP, Fed-CDP, Fed-CDP(decay));
+   (non-private, Fed-SDP, Fed-CDP, Fed-CDP(decay)) through the shared
+   :func:`repro.cli.run_experiment` runner — optionally with the parallel
+   ``multiprocessing`` client-execution backend;
 3. inspect the returned history: validation accuracy, per-iteration training
    cost, and the (epsilon, delta) privacy spending tracked by the moments
    accountant.
+
+For a single experiment, the config-driven CLI does all of this in one
+command (``python -m repro run --help``)::
+
+    python -m repro run --profile bench --dataset mnist --method fed_cdp \
+        --executor multiprocessing --workers 4
 
 Runtime: ~30 seconds on a laptop CPU.
 
 Run with::
 
-    python examples/quickstart.py [--dataset mnist] [--rounds 12]
+    python examples/quickstart.py [--dataset mnist] [--rounds 12] [--executor multiprocessing]
 """
 
 from __future__ import annotations
 
 import argparse
-import time
 
+from repro.cli import run_experiment
 from repro.experiments import format_table, make_config
-from repro.federated import FederatedSimulation
+from repro.federated.config import EXECUTORS
 
 METHODS = ("nonprivate", "fed_sdp", "fed_cdp", "fed_cdp_decay")
 
@@ -35,6 +44,8 @@ def main() -> None:
     parser.add_argument("--rounds", type=int, default=12, help="number of federated rounds")
     parser.add_argument("--clients", type=int, default=10, help="total number of clients K")
     parser.add_argument("--participation", type=float, default=0.5, help="fraction of clients per round (Kt/K)")
+    parser.add_argument("--executor", choices=EXECUTORS, default="serial", help="client-execution backend")
+    parser.add_argument("--workers", type=int, default=None, help="pool size for --executor multiprocessing")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
@@ -48,12 +59,11 @@ def main() -> None:
             num_clients=args.clients,
             participation_fraction=args.participation,
             eval_every=max(1, args.rounds // 3),
+            executor=args.executor,
+            num_workers=args.workers,
             seed=args.seed,
         )
-        started = time.perf_counter()
-        simulation = FederatedSimulation(config)
-        history = simulation.run()
-        elapsed = time.perf_counter() - started
+        history, elapsed, _ = run_experiment(config)
         rows.append(
             [
                 method,
@@ -74,7 +84,8 @@ def main() -> None:
             rows,
             headers=["method", "val accuracy", "epsilon", "ms / local iteration", "total seconds"],
             title=f"Fed-CDP quickstart on synthetic {args.dataset} "
-            f"(K={args.clients}, Kt/K={args.participation:.0%}, T={args.rounds})",
+            f"(K={args.clients}, Kt/K={args.participation:.0%}, T={args.rounds}, "
+            f"executor={args.executor})",
         )
     )
     print(

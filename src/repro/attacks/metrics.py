@@ -8,7 +8,7 @@ input and its private ground-truth counterpart.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

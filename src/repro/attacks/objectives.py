@@ -13,7 +13,7 @@ L-BFGS attack loop keeps working.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -21,7 +21,7 @@ the server), and then launches the reconstruction attack of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,7 +32,6 @@ from repro.core.fed_cdp import FedCDPTrainer
 from repro.core.fed_sdp import FedSDPTrainer
 from repro.federated.compression import prune_update
 
-from .metrics import reconstruction_distance
 from .reconstruction import AttackConfig, AttackResult, GradientReconstructionAttack
 
 __all__ = ["LEAKAGE_TYPES", "LeakageObservation", "GradientLeakageThreat"]

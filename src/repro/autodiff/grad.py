@@ -15,7 +15,7 @@ Provides two entry points mirroring the familiar PyTorch API:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

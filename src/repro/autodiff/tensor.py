@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -1,0 +1,368 @@
+"""Config-driven command-line runner: ``python -m repro``.
+
+Three subcommands cover the reproduction workflow:
+
+``run``
+    Run one federated experiment.  The :class:`~repro.federated.config.
+    FederatedConfig` is materialised from a scale profile
+    (:data:`repro.experiments.harness.SCALE_PROFILES`), optionally a YAML or
+    JSON config file, and CLI flags — with CLI flags winning over the file and
+    the file winning over the profile.  Supports round-level JSON checkpoints
+    (``--checkpoint`` / ``--checkpoint-every``) and exact resume
+    (``--resume``), plus the parallel client-execution backend
+    (``--executor multiprocessing --workers N``).
+
+``tables`` / ``figures``
+    Regenerate the paper's tables and figures (the runners from
+    :mod:`repro.experiments`) and print their plain-text renderings.
+
+Examples::
+
+    python -m repro run --profile quick --dataset mnist --method fed_cdp
+    python -m repro run --config experiment.yaml --workers 4 --executor multiprocessing
+    python -m repro run --profile quick --checkpoint ck.json --rounds 8 --resume
+    python -m repro tables 1 6
+    python -m repro figures 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.harness import SCALE_PROFILES, make_config
+from repro.federated.config import EXECUTORS, METHODS, FederatedConfig
+from repro.federated.simulation import FederatedSimulation
+
+__all__ = ["main", "build_parser", "load_config_file", "run_experiment"]
+
+
+#: Config-file keys that are runner settings rather than FederatedConfig fields.
+_RUNNER_KEYS = ("profile",)
+
+
+def load_config_file(path: str) -> dict:
+    """Load a YAML or JSON experiment description into a flat mapping.
+
+    The mapping may contain any :class:`FederatedConfig` field plus the
+    runner-level key ``profile``.  YAML needs PyYAML; JSON (and YAML files
+    that are valid JSON) always work, so the CLI stays usable when PyYAML is
+    missing from the environment.
+    """
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as error:
+        raise SystemExit(f"cannot read config file {path!r}: {error}")
+    try:
+        import yaml  # type: ignore
+    except ImportError:
+        yaml = None
+    if yaml is not None:
+        try:
+            payload = yaml.safe_load(text)
+        except yaml.YAMLError as error:
+            raise SystemExit(f"cannot parse {path!r}: {error}")
+    else:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SystemExit(
+                f"cannot parse {path!r}: PyYAML is not installed and the file is not JSON "
+                f"({error})"
+            )
+    if payload is None:
+        payload = {}
+    if not isinstance(payload, dict):
+        raise SystemExit(f"config file {path!r} must contain a mapping, got {type(payload).__name__}")
+    known = set(FederatedConfig.__dataclass_fields__) | set(_RUNNER_KEYS)
+    unknown = set(payload) - known
+    if unknown:
+        raise SystemExit(f"unknown config keys in {path!r}: {sorted(unknown)}")
+    return payload
+
+
+def _config_from_args(args: argparse.Namespace) -> tuple:
+    """Materialise the run config from profile defaults, file, and flags.
+
+    Returns ``(config, profile, explicit)`` where ``explicit`` maps every
+    :class:`FederatedConfig` field the user pinned (via a CLI flag or the
+    config file — not via profile defaults) to its requested value; ``run``
+    uses it to detect conflicts with a resumed checkpoint.
+    """
+    file_overrides: dict = {}
+    if args.config:
+        file_overrides = load_config_file(args.config)
+    file_profile = file_overrides.pop("profile", None)
+    profile = args.profile or file_profile or "quick"
+    if profile not in SCALE_PROFILES:
+        raise SystemExit(f"unknown profile {profile!r}; expected one of {sorted(SCALE_PROFILES)}")
+
+    overrides = dict(file_overrides)
+    flag_overrides = {
+        "dataset": args.dataset,
+        "method": args.method,
+        "rounds": args.rounds,
+        "num_clients": args.clients,
+        "participation_fraction": args.participation,
+        "seed": args.seed,
+        "eval_every": args.eval_every,
+        "executor": args.executor,
+        "num_workers": args.workers,
+        "noise_scale": args.noise_scale,
+        "clipping_bound": args.clipping_bound,
+    }
+    overrides.update({key: value for key, value in flag_overrides.items() if value is not None})
+    explicit = dict(overrides)
+    dataset = overrides.pop("dataset", None) or "mnist"
+    method = overrides.pop("method", None) or "fed_cdp"
+    return make_config(dataset, method, profile=profile, **overrides), profile, explicit
+
+
+def run_experiment(
+    config: FederatedConfig,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
+    verbose: bool = False,
+    resume_executor: Optional[str] = None,
+    resume_workers: Optional[int] = None,
+    resume_rounds: Optional[int] = None,
+):
+    """Run (or resume) one simulation.
+
+    Returns ``(history, wall_clock_seconds, simulation)``; the simulation's
+    executor is already closed when this returns.  On resume, the checkpoint
+    pins every numerics-affecting field; ``resume_executor`` /
+    ``resume_workers`` override the checkpointed execution backend only when
+    explicitly given (``None`` keeps the checkpoint's choice), and an
+    explicit larger ``resume_rounds`` extends the run ("resume and keep
+    going").
+    """
+    if resume:
+        if not checkpoint_path:
+            raise SystemExit("--resume requires --checkpoint")
+        if not os.path.exists(checkpoint_path):
+            raise SystemExit(f"--resume: checkpoint {checkpoint_path!r} does not exist")
+        try:
+            simulation = FederatedSimulation.from_checkpoint(
+                checkpoint_path,
+                executor=resume_executor,
+                num_workers=resume_workers,
+                rounds=resume_rounds,
+            )
+        except ValueError as error:
+            raise SystemExit(f"--resume: {error}")
+    else:
+        simulation = FederatedSimulation(config)
+    started = time.perf_counter()
+    try:
+        history = simulation.run(
+            verbose=verbose,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+    finally:
+        simulation.close()
+    return history, time.perf_counter() - started, simulation
+
+
+#: config fields the user may legitimately change when resuming a checkpoint
+_RESUME_MUTABLE_FIELDS = ("rounds", "executor", "num_workers")
+
+
+def _reject_resume_conflicts(explicit: dict, checkpoint_path: str) -> None:
+    """On --resume the checkpoint pins the numerics; fail loudly on conflicts.
+
+    Re-running the original command with ``--resume`` appended must work, so
+    explicitly-passed values that *match* the checkpoint are fine; a changed
+    ``--seed`` or ``--noise-scale`` is rejected instead of silently ignored
+    (the user would otherwise attribute the unchanged results to parameters
+    that were never applied).  The execution backend and an extending
+    ``--rounds`` remain free.
+    """
+    if not os.path.exists(checkpoint_path):
+        return  # run_experiment reports the missing checkpoint
+    with open(checkpoint_path) as handle:
+        checkpoint_config = json.load(handle)["config"]
+    conflicts = [
+        f"{field} (checkpoint: {checkpoint_config[field]!r}, requested: {value!r})"
+        for field, value in sorted(explicit.items())
+        if field not in _RESUME_MUTABLE_FIELDS and checkpoint_config.get(field) != value
+    ]
+    if conflicts:
+        raise SystemExit(
+            "--resume: the checkpoint pins every numerics-affecting field; "
+            "conflicting values: " + "; ".join(conflicts)
+        )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config, profile, explicit = _config_from_args(args)
+    if args.resume and args.checkpoint:
+        _reject_resume_conflicts(explicit, args.checkpoint)
+    history, elapsed, simulation = run_experiment(
+        config,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        verbose=args.verbose,
+        # only an explicit flag overrides the checkpointed backend on resume
+        resume_executor=args.executor,
+        resume_workers=args.workers,
+        resume_rounds=args.rounds,
+    )
+    config = simulation.config  # resume may have restored the checkpointed config
+    workers = config.num_workers if config.num_workers is not None else "auto"
+    print(
+        f"[repro] {config.method} on {config.dataset} (profile={profile}, "
+        f"executor={config.executor}, workers={workers}): "
+        f"{simulation.completed_rounds} rounds in {elapsed:.2f}s wall-clock"
+    )
+    print(
+        f"[repro] final accuracy={history.final_accuracy:.4f} "
+        f"epsilon={history.final_epsilon:.4f} "
+        f"mean cost={history.mean_time_per_iteration_ms:.2f} ms/iteration"
+    )
+    if args.output:
+        payload = history.to_dict()
+        payload["wall_clock_seconds"] = elapsed
+        payload["profile"] = profile
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"[repro] wrote history to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# tables / figures
+# ----------------------------------------------------------------------
+def _table_runners() -> Dict[str, Callable[[str, int], object]]:
+    from repro.experiments import tables
+
+    return {
+        "1": lambda profile, seed: tables.run_table1(profile=profile, seed=seed),
+        "2": lambda profile, seed: tables.run_table2(profile=profile, seed=seed),
+        "3": lambda profile, seed: tables.run_table3(profile=profile, seed=seed),
+        "4": lambda profile, seed: tables.run_table4(profile=profile, seed=seed),
+        "5": lambda profile, seed: tables.run_table5(profile=profile, seed=seed),
+        "6": lambda profile, seed: tables.run_table6(),
+        "7": lambda profile, seed: tables.run_table7(profile="quick", seed=seed),
+    }
+
+
+def _figure_runners() -> Dict[str, Callable[[str, int], object]]:
+    from repro.experiments import figures
+
+    return {
+        "1": lambda profile, seed: figures.run_figure1(seed=seed),
+        "3": lambda profile, seed: figures.run_figure3(profile=profile, seed=seed),
+        "4": lambda profile, seed: figures.run_figure4(seed=seed),
+        "5": lambda profile, seed: figures.run_figure5(profile="quick", seed=seed),
+    }
+
+
+def _run_artifacts(
+    kind: str,
+    runners: Dict[str, Callable[[str, int], object]],
+    names: Sequence[str],
+    profile: str,
+    seed: int,
+    output: Optional[str],
+) -> int:
+    requested = list(names) if names else sorted(runners)
+    unknown = [name for name in requested if name not in runners]
+    if unknown:
+        raise SystemExit(f"unknown {kind}: {unknown}; available: {sorted(runners)}")
+    sections: List[str] = []
+    for name in requested:
+        started = time.perf_counter()
+        result = runners[name](profile, seed)
+        rendered = result.formatted()
+        print(rendered)
+        print(f"[repro] {kind[:-1]} {name} finished in {time.perf_counter() - started:.1f}s\n")
+        sections.append(rendered)
+    if output:
+        with open(output, "w") as handle:
+            handle.write("\n".join(sections))
+        print(f"[repro] wrote {len(sections)} {kind} to {output}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    return _run_artifacts("tables", _table_runners(), args.names, args.table_profile, args.seed, args.output)
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    return _run_artifacts("figures", _figure_runners(), args.names, args.table_profile, args.seed, args.output)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Config-driven runner for the Fed-CDP reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one federated experiment")
+    run.add_argument("--config", help="YAML/JSON file of FederatedConfig overrides (+ optional 'profile')")
+    run.add_argument("--profile", choices=sorted(SCALE_PROFILES), help="scale profile (default: quick)")
+    run.add_argument("--dataset", help="benchmark dataset (default: mnist)")
+    run.add_argument("--method", choices=METHODS, help="training method (default: fed_cdp)")
+    run.add_argument("--rounds", type=int, help="number of federated rounds T")
+    run.add_argument("--clients", type=int, help="total number of clients K")
+    run.add_argument("--participation", type=float, help="participating fraction Kt/K")
+    run.add_argument("--eval-every", type=int, help="evaluate every this many rounds")
+    run.add_argument("--noise-scale", type=float, help="DP noise multiplier sigma")
+    run.add_argument("--clipping-bound", type=float, help="DP clipping bound C")
+    run.add_argument("--seed", type=int, help="global RNG seed")
+    run.add_argument("--executor", choices=EXECUTORS, help="client-execution backend (default: serial)")
+    run.add_argument("--workers", type=int, help="worker-pool size for --executor multiprocessing")
+    run.add_argument("--checkpoint", help="round-level JSON checkpoint path")
+    run.add_argument(
+        "--checkpoint-every", type=int, default=1, help="write the checkpoint every N rounds (default 1)"
+    )
+    run.add_argument("--resume", action="store_true", help="resume from --checkpoint if it exists")
+    run.add_argument("--output", help="write the run history as JSON to this path")
+    run.add_argument("--verbose", action="store_true", help="print per-round progress")
+    run.set_defaults(handler=_cmd_run)
+
+    for kind, handler in (("tables", _cmd_tables), ("figures", _cmd_figures)):
+        sub = subparsers.add_parser(kind, help=f"regenerate the paper's {kind}")
+        sub.add_argument("names", nargs="*", help=f"{kind} to run (default: all)")
+        sub.add_argument(
+            "--profile",
+            dest="table_profile",
+            choices=sorted(SCALE_PROFILES),
+            default="bench",
+            help="scale profile for training-based runners (default: bench)",
+        )
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--output", help="write the plain-text renderings to this path")
+        sub.set_defaults(handler=handler)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:  # e.g. `python -m repro tables | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

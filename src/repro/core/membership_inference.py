@@ -17,13 +17,12 @@ resilience the paper measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.autodiff import Tensor, no_grad
 from repro.nn import Sequential
-from repro.nn.functional import one_hot
 
 __all__ = ["MembershipInferenceResult", "per_example_losses", "loss_threshold_attack"]
 

@@ -17,7 +17,7 @@ utilities drive the decay-policy ablations and Figure-3 style analyses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ class structure, not the semantic content.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 __all__ = ["DatasetSpec", "DATASET_REGISTRY", "get_dataset_spec", "list_datasets"]

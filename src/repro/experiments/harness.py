@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.federated.config import FederatedConfig
 

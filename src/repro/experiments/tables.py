@@ -20,7 +20,7 @@ from repro.data.registry import DATASET_REGISTRY, get_dataset_spec
 from repro.federated.simulation import FederatedSimulation
 from repro.privacy.accountant import compute_dp_sgd_epsilon
 
-from .harness import PAPER_DP_DEFAULTS, bench_config, format_table, make_config
+from .harness import PAPER_DP_DEFAULTS, format_table, make_config
 
 __all__ = [
     "Table1Result",

@@ -3,7 +3,14 @@
 from .aggregation import average_weight_lists, fedavg_aggregate, fedsgd_aggregate
 from .client import FederatedClient
 from .compression import compression_savings, prune_update
-from .config import METHODS, FederatedConfig
+from .config import EXECUTORS, METHODS, FederatedConfig
+from .executor import (
+    ClientExecutor,
+    MultiprocessingClientExecutor,
+    SerialClientExecutor,
+    make_executor,
+    spawn_client_seeds,
+)
 from .sampling import sample_clients_fixed, sample_clients_poisson
 from .secure_aggregation import PairwiseMaskingProtocol
 from .server import FederatedServer, RoundResult
@@ -12,6 +19,12 @@ from .simulation import FederatedSimulation, SimulationHistory
 __all__ = [
     "FederatedConfig",
     "METHODS",
+    "EXECUTORS",
+    "ClientExecutor",
+    "SerialClientExecutor",
+    "MultiprocessingClientExecutor",
+    "make_executor",
+    "spawn_client_seeds",
     "FederatedClient",
     "FederatedServer",
     "RoundResult",

@@ -1,11 +1,15 @@
 """Client abstraction for the federated simulation.
 
 A :class:`FederatedClient` owns a private data shard and delegates the actual
-local computation to a local trainer from :mod:`repro.core` (shared across
-clients in the simulation, since clients run sequentially in-process).  The
-separation mirrors the paper's publish-subscribe reference model: the client
-downloads the global weights, trains locally for ``L`` iterations, and shares
-only the resulting parameter update.
+local computation to a local trainer from :mod:`repro.core`.  With the serial
+execution backend every client shares the simulation's single trainer (the
+broadcast global weights are reloaded before each use); the multiprocessing
+backend gives each worker process its own trainer copy, which is equivalent
+for the same reason.  The separation mirrors the paper's publish-subscribe
+reference model: the client downloads the global weights, trains locally for
+``L`` iterations, and shares only the resulting parameter update — each round
+with its own :class:`numpy.random.SeedSequence`-derived RNG stream (see
+:mod:`repro.federated.executor`).
 """
 
 from __future__ import annotations

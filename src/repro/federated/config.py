@@ -10,16 +10,19 @@ Fed-CDP, Fed-CDP(decay), DSSGD) and its differential-privacy parameters
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import asdict, dataclass, replace
+from typing import Mapping, Optional, Tuple
 
 from repro.data.registry import DatasetSpec, get_dataset_spec
 
-__all__ = ["FederatedConfig", "METHODS"]
+__all__ = ["FederatedConfig", "METHODS", "EXECUTORS"]
 
 
 #: Training methods understood by the trainer factory.
 METHODS: Tuple[str, ...] = ("nonprivate", "fed_sdp", "fed_cdp", "fed_cdp_decay", "dssgd")
+
+#: Client-execution backends understood by :func:`repro.federated.executor.make_executor`.
+EXECUTORS: Tuple[str, ...] = ("serial", "multiprocessing")
 
 
 @dataclass
@@ -78,6 +81,13 @@ class FederatedConfig:
     #: aggregation rule: ``fedsgd`` or ``fedavg``
     aggregation: str = "fedsgd"
 
+    # ----- execution -----------------------------------------------------
+    #: client-execution backend: ``serial`` or ``multiprocessing``
+    executor: str = "serial"
+    #: worker-pool size for the multiprocessing backend (``None`` = one per
+    #: participating client, capped at the machine's CPU count)
+    num_workers: Optional[int] = None
+
     # ----- bookkeeping ---------------------------------------------------
     #: global seed controlling data generation, partitioning, sampling, noise
     seed: int = 0
@@ -109,6 +119,10 @@ class FederatedConfig:
             raise ValueError("aggregation must be 'fedsgd' or 'fedavg'")
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1 (or None for auto)")
         # fail fast on typos in the dataset name
         get_dataset_spec(self.dataset)
 
@@ -164,3 +178,21 @@ class FederatedConfig:
     def with_overrides(self, **kwargs) -> "FederatedConfig":
         """Return a copy of this config with the given fields replaced."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoints, the CLI's YAML/JSON config files)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON-serialisable dictionary of every config field."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FederatedConfig":
+        """Rebuild a config from :meth:`to_dict` output (or a YAML mapping)."""
+        data = dict(payload)
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown FederatedConfig fields: {sorted(unknown)}")
+        if "decay_clipping" in data and data["decay_clipping"] is not None:
+            data["decay_clipping"] = tuple(data["decay_clipping"])
+        return cls(**data)

@@ -76,18 +76,38 @@ class FederatedServer:
         round_index: int,
         clients_per_round: int,
         rng: np.random.Generator,
+        executor=None,
+        client_seeds: Optional[Sequence[np.random.SeedSequence]] = None,
     ) -> RoundResult:
-        """Execute one full round: select, train locally, aggregate."""
+        """Execute one full round: select, train locally, aggregate.
+
+        With the default ``executor=None`` the selected clients run inline and
+        share the server's ``rng`` (the pre-executor behaviour, still used by
+        direct-server tests).  When a
+        :class:`~repro.federated.executor.ClientExecutor` is supplied, the
+        clients' local training is delegated to it with one pre-spawned RNG
+        stream per selected slot (``client_seeds``); the server then applies
+        sanitisation/compression and aggregates in selection order, so the
+        result is independent of the backend's scheduling.
+        """
         selected = self.select_clients(len(clients), clients_per_round, rng)
+        if executor is None:
+            results = [
+                clients[client_index].local_update(self.global_weights, round_index, rng=rng)
+                for client_index in selected
+            ]
+        else:
+            if client_seeds is None:
+                raise ValueError("client_seeds is required when running with an executor")
+            results = executor.run_clients(selected, self.global_weights, round_index, client_seeds)
+
         updates: List[List[np.ndarray]] = []
         local_models: List[List[np.ndarray]] = []
         losses: List[float] = []
         norms: List[float] = []
         times: List[float] = []
         metadata: Dict[str, float] = {}
-        for client_index in selected:
-            client = clients[client_index]
-            result = client.local_update(self.global_weights, round_index, rng=rng)
+        for result in results:
             delta = result.delta
             if self.update_sanitizer is not None:
                 delta = self.update_sanitizer(delta, round_index, rng)

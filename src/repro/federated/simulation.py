@@ -6,12 +6,23 @@ and produces a :class:`SimulationHistory` with everything the paper's tables
 and figures report: validation accuracy per round, per-iteration training
 cost, the gradient-norm trajectory (Figure 3) and the accumulated privacy
 spending epsilon (Table VI).
+
+Client execution is delegated to a :class:`~repro.federated.executor.
+ClientExecutor` (serial or multiprocessing, selected by
+``config.executor``); both backends consume identical per-client RNG streams,
+so a fixed seed yields a bit-identical history either way.  The simulation can
+also write round-level JSON checkpoints and resume from them exactly — see
+:meth:`FederatedSimulation.save_checkpoint` and
+:meth:`FederatedSimulation.from_checkpoint`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -22,9 +33,14 @@ from repro.privacy.accountant import MomentsAccountant
 
 from .client import FederatedClient
 from .config import FederatedConfig
+from .executor import make_executor, spawn_client_seeds
 from .server import FederatedServer, RoundResult
 
-__all__ = ["SimulationHistory", "FederatedSimulation"]
+__all__ = ["SimulationHistory", "FederatedSimulation", "CHECKPOINT_FORMAT_VERSION"]
+
+
+#: Version tag written into every checkpoint (bump on breaking layout changes).
+CHECKPOINT_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -64,6 +80,32 @@ class SimulationHistory:
         """Mean gradient L2 norm per round (the Figure 3 series)."""
         return [r.mean_gradient_norm for r in self.rounds]
 
+    # ------------------------------------------------------------------
+    # Serialization (checkpoints and the CLI's ``--output`` JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable dictionary (round keys become strings)."""
+        return {
+            "config": self.config.to_dict(),
+            "accuracy_by_round": {str(k): v for k, v in self.accuracy_by_round.items()},
+            "epsilon_by_round": {str(k): v for k, v in self.epsilon_by_round.items()},
+            "rounds": [asdict(r) for r in self.rounds],
+            "final_accuracy": self.final_accuracy,
+            "final_epsilon": self.final_epsilon,
+            "mean_time_per_iteration_ms": self.mean_time_per_iteration_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, config: Optional[FederatedConfig] = None) -> "SimulationHistory":
+        """Inverse of :meth:`to_dict` (derived summary fields are recomputed)."""
+        config = config if config is not None else FederatedConfig.from_dict(payload["config"])
+        return cls(
+            config=config,
+            accuracy_by_round={int(k): float(v) for k, v in payload["accuracy_by_round"].items()},
+            epsilon_by_round={int(k): float(v) for k, v in payload["epsilon_by_round"].items()},
+            rounds=[RoundResult(**r) for r in payload["rounds"]],
+        )
+
 
 class FederatedSimulation:
     """Builds and runs one federated learning experiment from a config."""
@@ -92,13 +134,19 @@ class FederatedSimulation:
             else build_model_for_dataset(config.spec, seed=config.seed, scale=config.model_scale)
         )
 
+        if (model is not None or trainer is not None) and config.executor != "serial":
+            raise ValueError(
+                "a custom model/trainer requires executor='serial': multiprocessing "
+                "workers rebuild the default model and trainer from the config and "
+                "would silently ignore the custom objects"
+            )
         if trainer is None:
             from repro.core.factory import make_trainer  # local import to avoid a cycle
 
             trainer = make_trainer(config.method, self.model, config)
         self.trainer = trainer
 
-        shards = partition_dataset(
+        self.shards = partition_dataset(
             self.train_dataset,
             config.spec,
             config.num_clients,
@@ -106,8 +154,10 @@ class FederatedSimulation:
             data_per_client=config.effective_data_per_client,
         )
         self.clients = [
-            FederatedClient(client_id, shard, self.trainer) for client_id, shard in enumerate(shards)
+            FederatedClient(client_id, shard, self.trainer)
+            for client_id, shard in enumerate(self.shards)
         ]
+        self.executor = make_executor(config, self.clients, self.shards)
 
         sanitizer = None
         if config.method == "fed_sdp" and config.sdp_server_side:
@@ -119,6 +169,8 @@ class FederatedSimulation:
             compression_ratio=config.compression_ratio,
         )
         self.accountant = MomentsAccountant()
+        self.history = SimulationHistory(config=config)
+        self._completed_rounds = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -132,20 +184,46 @@ class FederatedSimulation:
         self.model.set_weights(self.server.global_weights)
         return evaluate_accuracy(self.model, self.val_dataset.features, self.val_dataset.labels)
 
-    def run(self, rounds: Optional[int] = None, verbose: bool = False) -> SimulationHistory:
-        """Run the federated training loop and return the collected history."""
+    def run(
+        self,
+        rounds: Optional[int] = None,
+        verbose: bool = False,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+    ) -> SimulationHistory:
+        """Run the federated training loop and return the collected history.
+
+        Starts from the first round not yet completed, so a simulation
+        restored with :meth:`from_checkpoint` simply continues.  When
+        ``checkpoint_path`` is given, a checkpoint is written after every
+        ``checkpoint_every``-th round (and always after the final one).
+        """
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
         total_rounds = rounds if rounds is not None else self.config.rounds
-        history = SimulationHistory(config=self.config)
+        history = self.history
         is_private = self.config.method in ("fed_sdp", "fed_cdp", "fed_cdp_decay")
-        for round_index in range(total_rounds):
+        for round_index in range(self._completed_rounds, total_rounds):
+            client_seeds = spawn_client_seeds(
+                self.config.seed, round_index, self.config.clients_per_round
+            )
             result = self.server.run_round(
-                self.clients, round_index, self.config.clients_per_round, self.rng
+                self.clients,
+                round_index,
+                self.config.clients_per_round,
+                self.rng,
+                executor=self.executor,
+                client_seeds=client_seeds,
             )
             history.rounds.append(result)
             if is_private:
                 self.trainer.accumulate_privacy(self.accountant, round_index)
                 history.epsilon_by_round[round_index] = self.accountant.get_epsilon(self.config.delta)
-            if (round_index + 1) % self.config.eval_every == 0 or round_index == total_rounds - 1:
+            # forced final evaluation happens at the end of the *experiment*
+            # (not at the interruption point of a partial run(rounds=N) call,
+            # which would leave extra accuracy entries in a resumed history)
+            final_round = max(total_rounds, self.config.rounds) - 1
+            if (round_index + 1) % self.config.eval_every == 0 or round_index == final_round:
                 accuracy = self.evaluate()
                 history.accuracy_by_round[round_index] = accuracy
                 if verbose:  # pragma: no cover - console convenience
@@ -153,7 +231,129 @@ class FederatedSimulation:
                         f"[{self.config.method}] round {round_index + 1}/{total_rounds} "
                         f"accuracy={accuracy:.4f} loss={result.mean_loss:.4f}"
                     )
+            self._completed_rounds = round_index + 1
+            if checkpoint_path is not None and (
+                (round_index + 1) % checkpoint_every == 0 or round_index == total_rounds - 1
+            ):
+                self.save_checkpoint(checkpoint_path)
         return history
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the client-execution backend (worker pools)."""
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def completed_rounds(self) -> int:
+        """Number of federated rounds finished so far."""
+        return self._completed_rounds
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume this simulation bit-exactly.
+
+        Weights are stored as nested lists via ``ndarray.tolist()`` and the
+        JSON float repr round-trips ``float64`` exactly, so a resumed run is
+        numerically identical to an uninterrupted one (regression-tested).
+        """
+        return {
+            "format": CHECKPOINT_FORMAT_VERSION,
+            "config": self.config.to_dict(),
+            "completed_rounds": self._completed_rounds,
+            "rng_state": self.rng.bit_generator.state,
+            "global_weights": [w.tolist() for w in self.server.global_weights],
+            "accountant": self.accountant.state_dict(),
+            "history": self.history.to_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore server weights, RNG, accountant and history from a checkpoint."""
+        if state.get("format") != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {state.get('format')!r}; "
+                f"expected {CHECKPOINT_FORMAT_VERSION}"
+            )
+        checkpoint_config = FederatedConfig.from_dict(state["config"])
+        if checkpoint_config.with_overrides(
+            executor=self.config.executor,
+            num_workers=self.config.num_workers,
+            rounds=self.config.rounds,
+        ) != self.config or self.config.rounds < checkpoint_config.rounds:
+            raise ValueError(
+                "checkpoint config does not match this simulation's config "
+                "(only executor/num_workers may differ, and rounds may only grow)"
+            )
+        self.server.global_weights = [
+            np.array(w, dtype=np.float64) for w in state["global_weights"]
+        ]
+        self.rng.bit_generator.state = state["rng_state"]
+        self.accountant.load_state_dict(state["accountant"])
+        self.history = SimulationHistory.from_dict(state["history"], config=self.config)
+        self._completed_rounds = int(state["completed_rounds"])
+
+    def save_checkpoint(self, path: str) -> None:
+        """Atomically write a JSON checkpoint of the current state."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self.state_dict(), handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        executor: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        rounds: Optional[int] = None,
+    ) -> "FederatedSimulation":
+        """Rebuild a simulation from a checkpoint and position it to resume.
+
+        ``executor`` and ``num_workers`` may override the checkpointed values
+        — they are runtime choices that do not affect the numerics (both
+        backends consume identical RNG streams).  ``rounds`` may extend the
+        run ("resume and keep going"); it is applied *before* the simulation
+        is rebuilt, so round-count-dependent state — notably the
+        Fed-CDP(decay) clipping schedule — spans the new horizon, matching
+        what a fresh run of the extended length would use for the remaining
+        rounds.  (The already-completed rounds keep whatever schedule they
+        were trained with; extending a decay run is inherently a different
+        experiment from a fresh long one.)
+        """
+        with open(path) as handle:
+            state = json.load(handle)
+        config = FederatedConfig.from_dict(state["config"])
+        overrides = {}
+        if executor is not None:
+            overrides["executor"] = executor
+        if num_workers is not None:
+            overrides["num_workers"] = num_workers
+        if rounds is not None:
+            if rounds < config.rounds:
+                raise ValueError(
+                    f"rounds may only extend the checkpointed run "
+                    f"({rounds} < {config.rounds})"
+                )
+            overrides["rounds"] = rounds
+        if overrides:
+            config = config.with_overrides(**overrides)
+        simulation = cls(config)
+        simulation.load_state_dict(state)
+        return simulation
 
     # ------------------------------------------------------------------
     def global_weights(self) -> List[np.ndarray]:

@@ -17,7 +17,6 @@ from repro.autodiff import (
     Tensor,
     as_tensor,
     index_select_last,
-    log,
     logsumexp,
     matmul,
     mean,

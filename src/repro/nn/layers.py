@@ -15,7 +15,7 @@ import numpy as np
 from repro.autodiff import Tensor, relu, sigmoid, tanh
 
 from . import functional as F
-from .init import glorot_uniform, he_normal, zeros_init
+from .init import glorot_uniform, zeros_init
 from .module import Module
 
 __all__ = ["Dense", "Conv2D", "Flatten", "ReLU", "Tanh", "Sigmoid"]

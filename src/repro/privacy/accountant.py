@@ -25,7 +25,7 @@ re-implement the same accountant from scratch here:
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 from scipy import special
@@ -225,3 +225,24 @@ class MomentsAccountant:
         """Forget all accumulated privacy spending."""
         self._rdp = np.zeros(len(self.orders), dtype=np.float64)
         self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Serialization (simulation checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the accumulated RDP state."""
+        return {
+            "orders": list(self.orders),
+            "rdp": self._rdp.tolist(),
+            "steps": self._steps,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        orders = tuple(float(order) for order in state["orders"])
+        rdp = np.asarray(state["rdp"], dtype=np.float64)
+        if rdp.shape != (len(orders),):
+            raise ValueError("rdp vector length does not match the order grid")
+        self.orders = orders
+        self._rdp = rdp
+        self._steps = int(state["steps"])

@@ -12,7 +12,7 @@ naive composition.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Tuple
 
 __all__ = [
     "amplify_by_subsampling",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.autodiff import Tensor, exp, grad, log, matmul, relu, softmax, tsum
+from repro.autodiff import Tensor, exp, grad, log, matmul, relu, softmax
 
 from ..conftest import numerical_gradient
 

@@ -1,0 +1,201 @@
+"""End-to-end tests for the ``python -m repro`` command-line runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import load_config_file, main
+from repro.experiments.harness import quick_config
+from repro.federated import FederatedSimulation
+
+
+def _run_args(tmp_path, *extra):
+    return [
+        "run",
+        "--profile", "quick",
+        "--dataset", "cancer",
+        "--method", "fed_cdp",
+        "--seed", "5",
+        "--output", str(tmp_path / "history.json"),
+        *extra,
+    ]
+
+
+def test_run_writes_history_json(tmp_path, capsys):
+    assert main(_run_args(tmp_path, "--rounds", "2")) == 0
+    out = capsys.readouterr().out
+    assert "final accuracy=" in out
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["dataset"] == "cancer"
+    assert payload["config"]["rounds"] == 2
+    assert 0.0 <= payload["final_accuracy"] <= 1.0
+    assert payload["final_epsilon"] > 0
+    assert payload["wall_clock_seconds"] > 0
+    assert len(payload["rounds"]) == 2
+
+
+def test_run_checkpoint_then_resume_matches_straight_run(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    assert main(_run_args(tmp_path, "--rounds", "2", "--checkpoint", checkpoint)) == 0
+    assert main(_run_args(tmp_path, "--rounds", "4", "--checkpoint", checkpoint, "--resume")) == 0
+    resumed = json.loads((tmp_path / "history.json").read_text())
+    assert len(resumed["rounds"]) == 4
+
+    straight = FederatedSimulation(
+        quick_config("cancer", "fed_cdp", rounds=4, seed=5)
+    ).run()
+    assert resumed["final_accuracy"] == straight.final_accuracy
+    assert resumed["final_epsilon"] == pytest.approx(straight.final_epsilon, abs=1e-8)
+
+
+def test_run_resume_requires_existing_checkpoint(tmp_path):
+    with pytest.raises(SystemExit):
+        main(_run_args(tmp_path, "--resume"))
+    with pytest.raises(SystemExit):
+        main(_run_args(tmp_path, "--resume", "--checkpoint", str(tmp_path / "missing.json")))
+
+
+def test_resume_keeps_checkpointed_executor_unless_overridden(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    assert main(
+        _run_args(
+            tmp_path, "--rounds", "2", "--checkpoint", checkpoint,
+            "--executor", "multiprocessing", "--workers", "2",
+        )
+    ) == 0
+    # no --executor flag on resume: the checkpointed backend must survive
+    assert main(_run_args(tmp_path, "--rounds", "3", "--checkpoint", checkpoint, "--resume")) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["executor"] == "multiprocessing"
+    assert payload["config"]["num_workers"] == 2
+    # resumed-and-extended runs report the extended round count in the config
+    assert payload["config"]["rounds"] == 3
+    assert len(payload["rounds"]) == 3
+    # an explicit flag does override
+    assert main(
+        _run_args(
+            tmp_path, "--rounds", "4", "--checkpoint", checkpoint, "--resume",
+            "--executor", "serial",
+        )
+    ) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["executor"] == "serial"
+
+
+def test_resume_rejects_conflicting_numerics_flags(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    assert main(_run_args(tmp_path, "--rounds", "2", "--checkpoint", checkpoint)) == 0
+    # same flags + --resume works (exercised elsewhere); a changed numerics
+    # flag must fail loudly instead of being silently ignored
+    with pytest.raises(SystemExit, match="noise"):
+        main(
+            _run_args(
+                tmp_path, "--rounds", "3", "--checkpoint", checkpoint, "--resume",
+                "--noise-scale", "1.0",
+            )
+        )
+    with pytest.raises(SystemExit, match="seed"):
+        main(["run", "--seed", "9", "--dataset", "cancer", "--method", "fed_cdp",
+              "--checkpoint", checkpoint, "--resume"])
+    # shrinking the run is also rejected
+    with pytest.raises(SystemExit, match="rounds"):
+        main(_run_args(tmp_path, "--rounds", "1", "--checkpoint", checkpoint, "--resume"))
+
+
+def test_profile_flag_beats_config_file_profile(tmp_path):
+    config_path = tmp_path / "p.json"
+    config_path.write_text(
+        json.dumps({"profile": "bench", "dataset": "cancer", "method": "nonprivate", "rounds": 1})
+    )
+    assert main(
+        [
+            "run", "--config", str(config_path), "--profile", "quick",
+            "--output", str(tmp_path / "history.json"),
+        ]
+    ) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    # the quick profile's client population (6), not bench's (10)
+    assert payload["config"]["num_clients"] == 6
+
+
+def test_run_with_multiprocessing_executor(tmp_path):
+    assert main(
+        _run_args(tmp_path, "--rounds", "2", "--executor", "multiprocessing", "--workers", "2")
+    ) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["executor"] == "multiprocessing"
+    assert payload["config"]["num_workers"] == 2
+
+
+def test_run_with_yaml_config_file(tmp_path):
+    yaml = pytest.importorskip("yaml")
+    config_path = tmp_path / "experiment.yaml"
+    config_path.write_text(
+        yaml.safe_dump(
+            {"profile": "quick", "dataset": "cancer", "method": "nonprivate", "rounds": 2, "seed": 3}
+        )
+    )
+    assert main(
+        ["run", "--config", str(config_path), "--output", str(tmp_path / "history.json")]
+    ) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["method"] == "nonprivate"
+    assert payload["config"]["rounds"] == 2
+    assert payload["config"]["seed"] == 3
+
+
+def test_cli_flags_override_config_file(tmp_path):
+    config_path = tmp_path / "experiment.json"
+    config_path.write_text(json.dumps({"dataset": "cancer", "method": "nonprivate", "rounds": 2}))
+    assert main(
+        [
+            "run", "--config", str(config_path), "--rounds", "3",
+            "--output", str(tmp_path / "history.json"),
+        ]
+    ) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["rounds"] == 3  # CLI flag wins over the file
+
+
+def test_load_config_file_rejects_unknown_keys(tmp_path):
+    config_path = tmp_path / "bad.json"
+    config_path.write_text(json.dumps({"datasett": "cancer"}))
+    with pytest.raises(SystemExit):
+        load_config_file(str(config_path))
+    config_path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(SystemExit):
+        load_config_file(str(config_path))
+
+
+def test_unknown_profile_is_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["run", "--profile", "quick", "--dataset", "cancer", "--config", "/nonexistent.yaml"])
+    config_path = tmp_path / "p.json"
+    config_path.write_text(json.dumps({"profile": "galactic"}))
+    with pytest.raises(SystemExit):
+        main(["run", "--config", str(config_path)])
+
+
+def test_tables_subcommand_table6(tmp_path, capsys):
+    output = tmp_path / "tables.txt"
+    assert main(["tables", "6", "--output", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert "Table VI" in out
+    assert "Table VI" in output.read_text()
+
+
+def test_tables_subcommand_rejects_unknown_name():
+    with pytest.raises(SystemExit):
+        main(["tables", "42"])
+
+
+def test_figures_subcommand_figure3(capsys):
+    assert main(["figures", "3", "--profile", "quick"]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

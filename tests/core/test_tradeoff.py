@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import classification_margin, max_tolerable_distortion, mean_gradient_norm
 from repro.data import generate_dataset, get_dataset_spec
-from repro.experiments.harness import quick_config
 from repro.nn import CrossEntropyLoss, SGD, build_model_for_dataset
 from repro.autodiff import Tensor, backward
 

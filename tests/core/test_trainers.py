@@ -14,7 +14,7 @@ from repro.core import (
     make_trainer,
     select_top_fraction,
 )
-from repro.data import Dataset, generate_dataset, get_dataset_spec
+from repro.data import generate_dataset, get_dataset_spec
 from repro.experiments.harness import quick_config
 from repro.nn import build_model_for_dataset
 from repro.privacy import MomentsAccountant, l2_norm

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.data import (
-    DATASET_REGISTRY,
     Dataset,
     generate_dataset,
     generate_image_dataset,

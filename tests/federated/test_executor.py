@@ -1,0 +1,255 @@
+"""Executor equivalence and checkpoint/resume regression tests.
+
+The contract under test (same discipline as PR 1's looped-vs-vectorized
+equivalence): for a fixed config seed, the ``serial`` and ``multiprocessing``
+backends produce *identical* :class:`~repro.federated.simulation.
+SimulationHistory` metrics — accuracy, epsilon and gradient-norm trajectories
+— because both consume the same ``SeedSequence``-spawned per-client RNG
+streams and aggregate in the same order.  Likewise, a run interrupted by a
+checkpoint and resumed must be bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import quick_config
+from repro.federated import FederatedSimulation
+from repro.federated.executor import (
+    MultiprocessingClientExecutor,
+    SerialClientExecutor,
+    default_num_workers,
+    make_executor,
+    spawn_client_seeds,
+)
+
+#: tolerance demanded by the acceptance criteria; the backends are in fact
+#: bit-identical, so the assertions below use exact comparison where possible
+TOL = 1e-8
+
+
+def _run(config):
+    with FederatedSimulation(config) as simulation:
+        return simulation.run()
+
+
+def _assert_histories_equal(first, second, tol=TOL):
+    assert sorted(first.accuracy_by_round) == sorted(second.accuracy_by_round)
+    for round_index, accuracy in first.accuracy_by_round.items():
+        assert accuracy == pytest.approx(second.accuracy_by_round[round_index], abs=tol)
+    assert sorted(first.epsilon_by_round) == sorted(second.epsilon_by_round)
+    for round_index, epsilon in first.epsilon_by_round.items():
+        assert epsilon == pytest.approx(second.epsilon_by_round[round_index], abs=tol)
+    np.testing.assert_allclose(first.gradient_norm_series, second.gradient_norm_series, atol=tol)
+    assert len(first.rounds) == len(second.rounds)
+    for a, b in zip(first.rounds, second.rounds):
+        assert a.selected_clients == b.selected_clients
+        assert a.mean_loss == pytest.approx(b.mean_loss, abs=tol, nan_ok=True)
+
+
+# ----------------------------------------------------------------------
+# Seed-stream discipline
+# ----------------------------------------------------------------------
+def test_spawn_client_seeds_is_deterministic_and_distinct():
+    first = spawn_client_seeds(seed=3, round_index=2, count=4)
+    second = spawn_client_seeds(seed=3, round_index=2, count=4)
+    assert len(first) == 4
+    draws_first = [np.random.default_rng(s).integers(0, 2**31) for s in first]
+    draws_second = [np.random.default_rng(s).integers(0, 2**31) for s in second]
+    assert draws_first == draws_second  # deterministic
+    assert len(set(draws_first)) == len(draws_first)  # streams differ per slot
+    other_round = spawn_client_seeds(seed=3, round_index=3, count=4)
+    assert [np.random.default_rng(s).integers(0, 2**31) for s in other_round] != draws_first
+
+
+def test_spawn_client_seeds_independent_of_history():
+    # the stream for round 5 does not depend on whether rounds 0-4 were run
+    # (this is the invariant behind exact checkpoint resume)
+    late = spawn_client_seeds(seed=0, round_index=5, count=2)
+    again = spawn_client_seeds(seed=0, round_index=5, count=2)
+    for a, b in zip(late, again):
+        assert np.random.default_rng(a).normal() == np.random.default_rng(b).normal()
+
+
+def test_spawn_client_seeds_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_client_seeds(0, 0, -1)
+
+
+def test_default_num_workers_bounds():
+    assert default_num_workers(1) == 1
+    assert 1 <= default_num_workers(1000) <= 1000
+
+
+# ----------------------------------------------------------------------
+# Executor construction
+# ----------------------------------------------------------------------
+def test_make_executor_selects_backend():
+    serial_config = quick_config("cancer", "nonprivate")
+    mp_config = serial_config.with_overrides(executor="multiprocessing", num_workers=2)
+    simulation = FederatedSimulation(serial_config)
+    assert isinstance(make_executor(serial_config, simulation.clients, simulation.shards), SerialClientExecutor)
+    executor = make_executor(mp_config, simulation.clients, simulation.shards)
+    assert isinstance(executor, MultiprocessingClientExecutor)
+    assert executor.num_workers == 2
+    executor.close()  # no pool was started; close must be a no-op
+
+
+def test_config_rejects_unknown_executor_and_bad_workers():
+    with pytest.raises(ValueError):
+        quick_config("cancer", "nonprivate", executor="threads")
+    with pytest.raises(ValueError):
+        quick_config("cancer", "nonprivate", num_workers=0)
+
+
+def test_executors_require_enough_seeds():
+    config = quick_config("cancer", "nonprivate")
+    simulation = FederatedSimulation(config)
+    executor = SerialClientExecutor(simulation.clients)
+    with pytest.raises(ValueError):
+        executor.run_clients([0, 1], simulation.server.global_weights, 0, client_seeds=[])
+
+
+# ----------------------------------------------------------------------
+# Serial vs multiprocessing equivalence (the tentpole guarantee)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method", ["nonprivate", "fed_cdp"])
+def test_serial_and_multiprocessing_histories_identical(method):
+    config = quick_config("cancer", method, rounds=3, eval_every=1, seed=7)
+    serial_history = _run(config)
+    parallel_history = _run(config.with_overrides(executor="multiprocessing", num_workers=2))
+    _assert_histories_equal(serial_history, parallel_history)
+    # the two backends consume identical RNG streams, so beyond the <=1e-8
+    # criterion the per-round losses are literally bit-identical
+    assert [r.mean_loss for r in serial_history.rounds] == [
+        r.mean_loss for r in parallel_history.rounds
+    ]
+
+
+def test_multiprocessing_final_weights_match_serial():
+    config = quick_config("cancer", "fed_sdp", rounds=2, eval_every=2, seed=11)
+    serial_sim = FederatedSimulation(config)
+    serial_sim.run()
+    with FederatedSimulation(
+        config.with_overrides(executor="multiprocessing", num_workers=2)
+    ) as parallel_sim:
+        parallel_sim.run()
+    for w_serial, w_parallel in zip(serial_sim.global_weights(), parallel_sim.global_weights()):
+        np.testing.assert_array_equal(w_serial, w_parallel)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+def test_checkpoint_resume_round_trip(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    config = quick_config("cancer", "fed_cdp", rounds=4, eval_every=1, seed=5)
+
+    uninterrupted = _run(config)
+
+    simulation = FederatedSimulation(config)
+    simulation.run(rounds=2, checkpoint_path=checkpoint)
+    assert simulation.completed_rounds == 2
+
+    resumed_sim = FederatedSimulation.from_checkpoint(checkpoint)
+    assert resumed_sim.completed_rounds == 2
+    resumed = resumed_sim.run()
+
+    _assert_histories_equal(uninterrupted, resumed)
+    assert uninterrupted.final_accuracy == resumed.final_accuracy  # bit-identical
+    for w_a, w_b in zip(simulation.global_weights(), resumed_sim.global_weights()):
+        assert w_a.shape == w_b.shape
+
+
+def test_checkpoint_resume_across_backends(tmp_path):
+    # run the first half serially, resume on the multiprocessing backend
+    checkpoint = str(tmp_path / "ck.json")
+    config = quick_config("cancer", "nonprivate", rounds=3, eval_every=1, seed=9)
+    uninterrupted = _run(config)
+
+    FederatedSimulation(config).run(rounds=1, checkpoint_path=checkpoint)
+    with FederatedSimulation.from_checkpoint(
+        checkpoint, executor="multiprocessing", num_workers=2
+    ) as resumed_sim:
+        resumed = resumed_sim.run()
+    _assert_histories_equal(uninterrupted, resumed)
+
+
+def test_checkpoint_resume_exact_with_sparse_evaluation(tmp_path):
+    # eval_every > 1: interrupting must not leave extra accuracy entries in
+    # the resumed history (the forced evaluation belongs to the experiment's
+    # final round, not to the interruption point)
+    checkpoint = str(tmp_path / "ck.json")
+    config = quick_config("cancer", "nonprivate", rounds=4, eval_every=3, seed=2)
+    uninterrupted = _run(config)
+
+    FederatedSimulation(config).run(rounds=2, checkpoint_path=checkpoint)
+    resumed = FederatedSimulation.from_checkpoint(checkpoint).run()
+
+    assert sorted(uninterrupted.accuracy_by_round) == sorted(resumed.accuracy_by_round)
+    _assert_histories_equal(uninterrupted, resumed)
+
+
+def test_checkpoint_extend_rounds_respans_decay_schedule(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    config = quick_config("cancer", "fed_cdp_decay", rounds=2, eval_every=1, seed=4)
+    FederatedSimulation(config).run(checkpoint_path=checkpoint)
+
+    extended = FederatedSimulation.from_checkpoint(checkpoint, rounds=6)
+    assert extended.config.rounds == 6
+    assert extended.completed_rounds == 2
+    # the rebuilt trainer's decay schedule spans the extended horizon, i.e.
+    # the remaining rounds clip exactly like a fresh 6-round run would
+    fresh = FederatedSimulation(config.with_overrides(rounds=6))
+    for round_index in range(2, 6):
+        assert extended.trainer.clipping.bound_for_round(round_index) == (
+            fresh.trainer.clipping.bound_for_round(round_index)
+        )
+    history = extended.run()
+    assert len(history.rounds) == 6
+
+    with pytest.raises(ValueError):
+        FederatedSimulation.from_checkpoint(checkpoint, rounds=1)  # shrinking is rejected
+
+
+def test_simulation_rejects_custom_trainer_with_multiprocessing():
+    config = quick_config("cancer", "nonprivate", executor="multiprocessing", num_workers=2)
+    serial = FederatedSimulation(quick_config("cancer", "nonprivate"))
+    with pytest.raises(ValueError):
+        FederatedSimulation(config, trainer=serial.trainer)
+    with pytest.raises(ValueError):
+        FederatedSimulation(config, model=serial.model)
+
+
+def test_checkpoint_rejects_mismatched_config(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    config = quick_config("cancer", "nonprivate", rounds=2, eval_every=1, seed=1)
+    simulation = FederatedSimulation(config)
+    simulation.run(rounds=1, checkpoint_path=checkpoint)
+
+    other = FederatedSimulation(config.with_overrides(seed=2))
+    import json
+
+    with open(checkpoint) as handle:
+        state = json.load(handle)
+    with pytest.raises(ValueError):
+        other.load_state_dict(state)
+
+    state["format"] = 999
+    with pytest.raises(ValueError):
+        simulation.load_state_dict(state)
+
+
+def test_checkpoint_every_validation():
+    config = quick_config("cancer", "nonprivate", rounds=1)
+    with pytest.raises(ValueError):
+        FederatedSimulation(config).run(checkpoint_every=0)
+
+
+def test_history_round_trips_through_dict():
+    config = quick_config("cancer", "fed_cdp", rounds=2, eval_every=1, seed=3)
+    history = _run(config)
+    rebuilt = type(history).from_dict(history.to_dict())
+    _assert_histories_equal(history, rebuilt, tol=0.0)
+    assert rebuilt.config == config

@@ -10,18 +10,13 @@ from repro.nn import (
     SGD,
     Adam,
     CrossEntropyLoss,
-    Dense,
     MSELoss,
-    ReLU,
-    Sequential,
     accuracy,
     build_image_cnn,
     build_tabular_mlp,
     confusion_matrix,
     evaluate_accuracy,
 )
-from repro.nn import functional as F
-
 from ..conftest import numerical_gradient
 
 
