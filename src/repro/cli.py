@@ -1,6 +1,6 @@
 """Config-driven command-line runner: ``python -m repro``.
 
-Three subcommands cover the reproduction workflow:
+Four subcommands cover the reproduction workflow:
 
 ``run``
     Run one federated experiment.  The :class:`~repro.federated.config.
@@ -16,13 +16,20 @@ Three subcommands cover the reproduction workflow:
     Regenerate the paper's tables and figures (the runners from
     :mod:`repro.experiments`) and print their plain-text renderings.
 
+``scenarios``
+    Sweep the scenario engine's (partition × availability × method) matrix
+    (:func:`repro.experiments.scenarios.run_scenario_matrix`) and print one
+    comparison table — see ``docs/scenarios.md``.
+
 Examples::
 
     python -m repro run --profile quick --dataset mnist --method fed_cdp
     python -m repro run --config experiment.yaml --workers 4 --executor multiprocessing
     python -m repro run --profile quick --checkpoint ck.json --rounds 8 --resume
+    python -m repro run --partition dirichlet --dirichlet-alpha 0.1 --dropout 0.3
     python -m repro tables 1 6
     python -m repro figures 3
+    python -m repro scenarios --methods nonprivate fed_cdp --dataset mnist
 """
 
 from __future__ import annotations
@@ -34,8 +41,9 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.data.partition import PARTITION_STRATEGIES
 from repro.experiments.harness import SCALE_PROFILES, make_config
-from repro.federated.config import EXECUTORS, METHODS, FederatedConfig
+from repro.federated.config import CLIENT_SAMPLING_SCHEMES, EXECUTORS, METHODS, FederatedConfig
 from repro.federated.simulation import FederatedSimulation
 
 __all__ = ["main", "build_parser", "load_config_file", "run_experiment"]
@@ -115,6 +123,12 @@ def _config_from_args(args: argparse.Namespace) -> tuple:
         "num_workers": args.workers,
         "noise_scale": args.noise_scale,
         "clipping_bound": args.clipping_bound,
+        "partition": args.partition,
+        "dirichlet_alpha": args.dirichlet_alpha,
+        "quantity_skew_exponent": args.quantity_skew_exponent,
+        "client_sampling": args.client_sampling,
+        "dropout_rate": args.dropout,
+        "straggler_deadline": args.straggler_deadline,
     }
     overrides.update({key: value for key, value in flag_overrides.items() if value is not None})
     explicit = dict(overrides)
@@ -294,6 +308,33 @@ def _run_artifacts(
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import run_scenario_matrix
+
+    started = time.perf_counter()
+    try:
+        result = run_scenario_matrix(
+            methods=tuple(args.methods),
+            partitions=args.partitions or None,
+            availabilities=args.availabilities or None,
+            dataset=args.dataset,
+            profile=args.table_profile,
+            seed=args.seed,
+            verbose=args.verbose,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    rendered = result.formatted()
+    print(rendered)
+    print(f"[repro] scenario matrix ({len(result.cells)} cells) finished in "
+          f"{time.perf_counter() - started:.1f}s")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(f"[repro] wrote scenario table to {args.output}")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     return _run_artifacts("tables", _table_runners(), args.names, args.table_profile, args.seed, args.output)
 
@@ -323,6 +364,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--eval-every", type=int, help="evaluate every this many rounds")
     run.add_argument("--noise-scale", type=float, help="DP noise multiplier sigma")
     run.add_argument("--clipping-bound", type=float, help="DP clipping bound C")
+    run.add_argument(
+        "--partition",
+        choices=PARTITION_STRATEGIES,
+        help="data heterogeneity strategy (default: shards, the paper's scheme)",
+    )
+    run.add_argument(
+        "--dirichlet-alpha", type=float, help="Dirichlet concentration for --partition dirichlet"
+    )
+    run.add_argument(
+        "--quantity-skew-exponent",
+        type=float,
+        help="power-law exponent for --partition quantity_skew (0 = equal sizes)",
+    )
+    run.add_argument(
+        "--client-sampling",
+        choices=CLIENT_SAMPLING_SCHEMES,
+        help="per-round cohort selection (default: fixed)",
+    )
+    run.add_argument(
+        "--dropout", type=float, help="per-round probability a selected client drops out"
+    )
+    run.add_argument(
+        "--straggler-deadline",
+        type=float,
+        help="round deadline in simulated time units (lognormal(0,1) client durations)",
+    )
     run.add_argument("--seed", type=int, help="global RNG seed")
     run.add_argument("--executor", choices=EXECUTORS, help="client-execution backend (default: serial)")
     run.add_argument("--workers", type=int, help="worker-pool size for --executor multiprocessing")
@@ -334,6 +401,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", help="write the run history as JSON to this path")
     run.add_argument("--verbose", action="store_true", help="print per-round progress")
     run.set_defaults(handler=_cmd_run)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="sweep the (partition x availability x method) scenario matrix"
+    )
+    scenarios.add_argument(
+        "--methods", nargs="+", default=["nonprivate", "fed_cdp"], choices=METHODS,
+        help="training methods to sweep (default: nonprivate fed_cdp)",
+    )
+    scenarios.add_argument(
+        "--partitions", nargs="*", default=None,
+        help="partition scenario names (default: all; see repro.experiments.scenarios)",
+    )
+    scenarios.add_argument(
+        "--availabilities", nargs="*", default=None,
+        help="availability scenario names (default: all)",
+    )
+    scenarios.add_argument("--dataset", default="mnist", help="benchmark dataset (default: mnist)")
+    scenarios.add_argument(
+        "--profile", dest="table_profile", choices=sorted(SCALE_PROFILES), default="quick",
+        help="scale profile for every cell (default: quick)",
+    )
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument("--output", help="write the comparison table to this path")
+    scenarios.add_argument("--verbose", action="store_true", help="print per-cell progress")
+    scenarios.set_defaults(handler=_cmd_scenarios)
 
     for kind, handler in (("tables", _cmd_tables), ("figures", _cmd_figures)):
         sub = subparsers.add_parser(kind, help=f"regenerate the paper's {kind}")

@@ -1,7 +1,18 @@
 """Dataset substrate: synthetic benchmark stand-ins, containers and partitioning."""
 
 from .dataset import Dataset
-from .partition import partition_by_class_shards, partition_dataset, partition_full_copy
+from .partition import (
+    PARTITION_STRATEGIES,
+    dirichlet_partition_indices,
+    iid_partition_indices,
+    partition_by_class_shards,
+    partition_dataset,
+    partition_dirichlet,
+    partition_full_copy,
+    partition_iid,
+    partition_quantity_skew,
+    quantity_skew_partition_indices,
+)
 from .registry import DATASET_REGISTRY, DatasetSpec, get_dataset_spec, list_datasets
 from .synthetic import (
     generate_dataset,
@@ -23,4 +34,11 @@ __all__ = [
     "partition_dataset",
     "partition_by_class_shards",
     "partition_full_copy",
+    "partition_iid",
+    "partition_dirichlet",
+    "partition_quantity_skew",
+    "iid_partition_indices",
+    "dirichlet_partition_indices",
+    "quantity_skew_partition_indices",
+    "PARTITION_STRATEGIES",
 ]

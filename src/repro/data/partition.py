@@ -7,18 +7,48 @@ shards with 500 samples from two classes" (MNIST), 400 from two classes
 the tiny Cancer dataset "each client has a full copy of the dataset".
 :func:`partition_dataset` reproduces that scheme for an arbitrary number of
 clients over the synthetic datasets.
+
+Beyond the paper's fixed scheme, the scenario engine adds three heterogeneity
+strategies (selected by ``FederatedConfig.partition``, see
+``docs/scenarios.md``), all of which assign every example to exactly one
+client (disjoint indices, full coverage, no client empty):
+
+* ``"iid"`` — a uniform random equal split, the benign baseline;
+* ``"dirichlet"`` — Dirichlet label skew: each class is divided across
+  clients by proportions drawn from ``Dir(alpha)``.  Large ``alpha``
+  approaches IID; small ``alpha`` concentrates each client on few classes
+  (the standard non-IID benchmark protocol, e.g. Hsu et al. 2019);
+* ``"quantity_skew"`` — power-law client sizes: label-IID shards whose sizes
+  follow ``size_k ∝ rank^-exponent``, modeling populations where a few
+  clients hold most of the data.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .dataset import Dataset
 from .registry import DatasetSpec
 
-__all__ = ["partition_by_class_shards", "partition_full_copy", "partition_dataset"]
+__all__ = [
+    "partition_by_class_shards",
+    "partition_full_copy",
+    "partition_dataset",
+    "partition_iid",
+    "partition_dirichlet",
+    "partition_quantity_skew",
+    "iid_partition_indices",
+    "dirichlet_partition_indices",
+    "quantity_skew_partition_indices",
+    "PARTITION_STRATEGIES",
+]
+
+
+#: Partition strategies understood by :func:`partition_dataset` (and by
+#: ``FederatedConfig.partition``).  ``"shards"`` is the paper's Table-I scheme.
+PARTITION_STRATEGIES: Tuple[str, ...] = ("shards", "iid", "dirichlet", "quantity_skew")
 
 
 def partition_by_class_shards(
@@ -86,18 +116,204 @@ def partition_full_copy(dataset: Dataset, num_clients: int) -> List[Dataset]:
     return [dataset.subset(np.arange(len(dataset))) for _ in range(num_clients)]
 
 
+# ----------------------------------------------------------------------
+# Heterogeneity strategies (index-level cores + Dataset wrappers)
+# ----------------------------------------------------------------------
+def _validate_population(num_examples: int, num_clients: int) -> None:
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if num_examples < num_clients:
+        raise ValueError(
+            f"cannot give {num_clients} clients a non-empty shard of {num_examples} examples"
+        )
+
+
+def _rebalance_empty_clients(
+    client_indices: List[List[int]], min_per_client: int
+) -> List[List[int]]:
+    """Move examples from the largest clients until every client has at least
+    ``min_per_client`` examples.  Deterministic: the donor is always the
+    currently-largest client (lowest id on ties) and donates its last index.
+    """
+    for needy in range(len(client_indices)):
+        while len(client_indices[needy]) < min_per_client:
+            donor = max(
+                range(len(client_indices)),
+                key=lambda k: (len(client_indices[k]), -k),
+            )
+            if len(client_indices[donor]) <= min_per_client:
+                raise ValueError(
+                    "not enough examples to give every client "
+                    f"{min_per_client} example(s)"
+                )
+            client_indices[needy].append(client_indices[donor].pop())
+    return client_indices
+
+
+def iid_partition_indices(
+    num_examples: int, num_clients: int, rng: Optional[np.random.Generator] = None
+) -> List[np.ndarray]:
+    """Disjoint uniform random split into ``num_clients`` near-equal parts."""
+    _validate_population(num_examples, num_clients)
+    rng = rng if rng is not None else np.random.default_rng()
+    order = rng.permutation(num_examples)
+    return [np.sort(part).astype(np.int64) for part in np.array_split(order, num_clients)]
+
+
+def dirichlet_partition_indices(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float,
+    rng: Optional[np.random.Generator] = None,
+    min_per_client: int = 1,
+) -> List[np.ndarray]:
+    """Dirichlet label-skew split of ``labels`` into disjoint index sets.
+
+    For each class present in ``labels`` the class's example indices are
+    divided across clients by proportions drawn from ``Dir(alpha * 1_K)``.
+    ``alpha -> inf`` recovers an IID split; ``alpha -> 0`` gives each client
+    examples from essentially one class.  Every example is assigned to exactly
+    one client and no client is left below ``min_per_client`` examples
+    (rebalanced deterministically from the largest clients).
+    """
+    labels = np.asarray(labels).reshape(-1)
+    _validate_population(labels.shape[0], num_clients)
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if min_per_client < 1:
+        raise ValueError("min_per_client must be at least 1")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    client_indices: List[List[int]] = [[] for _ in range(num_clients)]
+    for cls in np.unique(labels):
+        class_indices = np.flatnonzero(labels == cls)
+        rng.shuffle(class_indices)
+        proportions = rng.dirichlet(np.full(num_clients, float(alpha)))
+        # split points from the cumulative proportions; len-preserving
+        cuts = (np.cumsum(proportions)[:-1] * class_indices.size).astype(np.int64)
+        for client, part in enumerate(np.split(class_indices, cuts)):
+            client_indices[client].extend(int(i) for i in part)
+    _rebalance_empty_clients(client_indices, min_per_client)
+    return [np.sort(np.asarray(part, dtype=np.int64)) for part in client_indices]
+
+
+def quantity_skew_partition_indices(
+    num_examples: int,
+    num_clients: int,
+    exponent: float,
+    rng: Optional[np.random.Generator] = None,
+    min_per_client: int = 1,
+) -> List[np.ndarray]:
+    """Power-law quantity-skew split into disjoint, label-IID index sets.
+
+    Client sizes follow ``size_k ∝ rank^-exponent`` (Zipf-like) with the
+    size-rank-to-client assignment randomly permuted, so *which* client is
+    data-rich varies with the seed.  ``exponent = 0`` gives an equal split;
+    larger exponents concentrate the data on few clients.  Every client keeps
+    at least ``min_per_client`` examples.
+    """
+    _validate_population(num_examples, num_clients)
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    if min_per_client < 1:
+        raise ValueError("min_per_client must be at least 1")
+    if min_per_client * num_clients > num_examples:
+        raise ValueError("not enough examples for the requested min_per_client")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    weights = np.arange(1, num_clients + 1, dtype=np.float64) ** -float(exponent)
+    rng.shuffle(weights)
+    raw = weights / weights.sum() * num_examples
+    sizes = np.floor(raw).astype(np.int64)
+    # largest-remainder allocation of the leftover examples
+    leftover = num_examples - int(sizes.sum())
+    if leftover > 0:
+        for index in np.argsort(-(raw - sizes), kind="stable")[:leftover]:
+            sizes[index] += 1
+    # enforce the per-client floor by taking from the largest clients
+    for needy in range(num_clients):
+        while sizes[needy] < min_per_client:
+            donor = int(np.argmax(sizes))
+            if sizes[donor] <= min_per_client:
+                raise ValueError("not enough examples for the requested min_per_client")
+            sizes[donor] -= 1
+            sizes[needy] += 1
+    order = rng.permutation(num_examples)
+    cuts = np.cumsum(sizes)[:-1]
+    return [np.sort(part).astype(np.int64) for part in np.split(order, cuts)]
+
+
+def partition_iid(
+    dataset: Dataset, num_clients: int, rng: Optional[np.random.Generator] = None
+) -> List[Dataset]:
+    """Uniform random equal split (the benign IID baseline)."""
+    return [
+        dataset.subset(part)
+        for part in iid_partition_indices(len(dataset), num_clients, rng=rng)
+    ]
+
+
+def partition_dirichlet(
+    dataset: Dataset,
+    num_clients: int,
+    alpha: float,
+    rng: Optional[np.random.Generator] = None,
+    min_per_client: int = 1,
+) -> List[Dataset]:
+    """Dirichlet label-skew partition (see :func:`dirichlet_partition_indices`)."""
+    return [
+        dataset.subset(part)
+        for part in dirichlet_partition_indices(
+            dataset.labels, num_clients, alpha, rng=rng, min_per_client=min_per_client
+        )
+    ]
+
+
+def partition_quantity_skew(
+    dataset: Dataset,
+    num_clients: int,
+    exponent: float,
+    rng: Optional[np.random.Generator] = None,
+    min_per_client: int = 1,
+) -> List[Dataset]:
+    """Power-law quantity-skew partition (see :func:`quantity_skew_partition_indices`)."""
+    return [
+        dataset.subset(part)
+        for part in quantity_skew_partition_indices(
+            len(dataset), num_clients, exponent, rng=rng, min_per_client=min_per_client
+        )
+    ]
+
+
 def partition_dataset(
     dataset: Dataset,
     spec: DatasetSpec,
     num_clients: int,
     rng: Optional[np.random.Generator] = None,
     data_per_client: Optional[int] = None,
+    strategy: str = "shards",
+    dirichlet_alpha: float = 0.5,
+    quantity_skew_exponent: float = 1.5,
 ) -> List[Dataset]:
-    """Partition ``dataset`` across clients following the benchmark's scheme.
+    """Partition ``dataset`` across clients following the selected strategy.
 
-    ``data_per_client`` overrides the Table-I per-client volume; the scaled
-    harness passes a smaller value to keep local training fast.
+    ``strategy`` is one of :data:`PARTITION_STRATEGIES`.  The default
+    ``"shards"`` reproduces the paper's Table-I scheme (class-skewed shards of
+    ``data_per_client`` examples, or a full copy per client for the Cancer
+    dataset); the other strategies are the scenario engine's disjoint
+    heterogeneity splits and ignore ``data_per_client`` — they divide the
+    *whole* dataset across the clients.
     """
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown partition strategy {strategy!r}; expected one of {PARTITION_STRATEGIES}"
+        )
+    if strategy == "iid":
+        return partition_iid(dataset, num_clients, rng=rng)
+    if strategy == "dirichlet":
+        return partition_dirichlet(dataset, num_clients, dirichlet_alpha, rng=rng)
+    if strategy == "quantity_skew":
+        return partition_quantity_skew(dataset, num_clients, quantity_skew_exponent, rng=rng)
     volume = data_per_client if data_per_client is not None else spec.data_per_client
     if spec.full_copy_per_client:
         return partition_full_copy(dataset, num_clients)

@@ -1,0 +1,173 @@
+"""Scenario matrix runner: (partition × availability × method) sweeps.
+
+The paper evaluates Fed-CDP under a single benign setup; the ROADMAP's
+north-star demands scenario diversity.  This module sweeps the scenario
+engine's two new axes — data heterogeneity (``FederatedConfig.partition``)
+and client availability (dropout / straggler dynamics) — against the training
+methods, and renders one comparison table over all cells.  It is surfaced on
+the command line as ``python -m repro scenarios``.
+
+Every cell is an ordinary :class:`~repro.federated.simulation.
+FederatedSimulation` run, so each is individually reproducible from its
+:class:`~repro.federated.config.FederatedConfig` (printed by ``--verbose`` or
+recoverable from the cell's ``config`` attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.federated.config import FederatedConfig
+from repro.federated.simulation import FederatedSimulation, SimulationHistory
+
+from .harness import format_table, make_config
+
+__all__ = [
+    "PARTITION_SCENARIOS",
+    "AVAILABILITY_SCENARIOS",
+    "ScenarioCell",
+    "ScenarioMatrixResult",
+    "run_scenario_matrix",
+]
+
+
+#: Named heterogeneity scenarios: config overrides selecting the partitioner.
+PARTITION_SCENARIOS: Dict[str, dict] = {
+    "iid": {"partition": "iid"},
+    "shards": {"partition": "shards"},
+    "dirichlet(1.0)": {"partition": "dirichlet", "dirichlet_alpha": 1.0},
+    "dirichlet(0.1)": {"partition": "dirichlet", "dirichlet_alpha": 0.1},
+    "quantity-skew": {"partition": "quantity_skew", "quantity_skew_exponent": 1.5},
+}
+
+#: Named availability scenarios: config overrides for the dynamics layer.
+#: ``stragglers`` uses deadline 2.0 over the lognormal(0, 1) duration model,
+#: i.e. roughly a quarter of surviving clients miss the deadline per round.
+AVAILABILITY_SCENARIOS: Dict[str, dict] = {
+    "reliable": {},
+    "dropout(0.3)": {"dropout_rate": 0.3},
+    "stragglers": {"straggler_deadline": 2.0},
+    "flaky": {"dropout_rate": 0.2, "straggler_deadline": 2.0, "client_sampling": "poisson"},
+}
+
+
+@dataclass
+class ScenarioCell:
+    """Outcome of one (partition, availability, method) simulation."""
+
+    partition: str
+    availability: str
+    method: str
+    config: FederatedConfig
+    final_accuracy: float
+    final_epsilon: float
+    mean_participants: float
+    total_dropped: int
+    total_stragglers: int
+    skipped_rounds: int
+
+
+@dataclass
+class ScenarioMatrixResult:
+    """All cells of one scenario sweep plus the rendered comparison table."""
+
+    cells: List[ScenarioCell] = field(default_factory=list)
+    histories: Dict[Tuple[str, str, str], SimulationHistory] = field(default_factory=dict)
+
+    def formatted(self) -> str:
+        rows = [
+            [
+                cell.partition,
+                cell.availability,
+                cell.method,
+                cell.final_accuracy,
+                cell.final_epsilon,
+                cell.mean_participants,
+                cell.total_dropped,
+                cell.total_stragglers,
+                cell.skipped_rounds,
+            ]
+            for cell in self.cells
+        ]
+        return format_table(
+            rows,
+            headers=[
+                "partition",
+                "availability",
+                "method",
+                "accuracy",
+                "epsilon",
+                "participants/round",
+                "dropped",
+                "stragglers",
+                "skipped",
+            ],
+            title="Scenario matrix (partition x availability x method)",
+        )
+
+
+def run_scenario_matrix(
+    methods: Sequence[str] = ("nonprivate", "fed_cdp"),
+    partitions: Optional[Sequence[str]] = None,
+    availabilities: Optional[Sequence[str]] = None,
+    dataset: str = "mnist",
+    profile: str = "quick",
+    seed: int = 0,
+    verbose: bool = False,
+    **config_overrides,
+) -> ScenarioMatrixResult:
+    """Run the (partition × availability × method) sweep and collect one table.
+
+    ``partitions`` / ``availabilities`` name entries of
+    :data:`PARTITION_SCENARIOS` / :data:`AVAILABILITY_SCENARIOS` (``None``
+    sweeps all of them); extra keyword arguments are forwarded to every
+    cell's config, letting callers shrink the runs (``rounds=2``) or change
+    the dataset scale.
+    """
+    partitions = list(partitions) if partitions is not None else list(PARTITION_SCENARIOS)
+    availabilities = (
+        list(availabilities) if availabilities is not None else list(AVAILABILITY_SCENARIOS)
+    )
+    unknown = [name for name in partitions if name not in PARTITION_SCENARIOS]
+    unknown += [name for name in availabilities if name not in AVAILABILITY_SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown scenario names {unknown}; available partitions: "
+            f"{sorted(PARTITION_SCENARIOS)}, availabilities: {sorted(AVAILABILITY_SCENARIOS)}"
+        )
+
+    result = ScenarioMatrixResult()
+    for partition_name in partitions:
+        for availability_name in availabilities:
+            for method in methods:
+                overrides = dict(config_overrides)
+                overrides.update(PARTITION_SCENARIOS[partition_name])
+                overrides.update(AVAILABILITY_SCENARIOS[availability_name])
+                config = make_config(dataset, method, profile=profile, seed=seed, **overrides)
+                with FederatedSimulation(config) as simulation:
+                    history = simulation.run()
+                participation = history.participation_series
+                cell = ScenarioCell(
+                    partition=partition_name,
+                    availability=availability_name,
+                    method=method,
+                    config=config,
+                    final_accuracy=history.final_accuracy,
+                    final_epsilon=history.final_epsilon,
+                    mean_participants=(
+                        sum(participation) / len(participation) if participation else 0.0
+                    ),
+                    total_dropped=history.total_dropped,
+                    total_stragglers=history.total_stragglers,
+                    skipped_rounds=history.skipped_rounds,
+                )
+                result.cells.append(cell)
+                result.histories[(partition_name, availability_name, method)] = history
+                if verbose:  # pragma: no cover - console convenience
+                    print(
+                        f"[scenarios] {partition_name} / {availability_name} / {method}: "
+                        f"accuracy={cell.final_accuracy:.4f} epsilon={cell.final_epsilon:.2f} "
+                        f"participants/round={cell.mean_participants:.1f}"
+                    )
+    return result

@@ -1,9 +1,10 @@
 """Federated-learning simulation framework."""
 
 from .aggregation import average_weight_lists, fedavg_aggregate, fedsgd_aggregate
+from .availability import AvailabilityDraw, AvailabilityModel
 from .client import FederatedClient
 from .compression import compression_savings, prune_update
-from .config import EXECUTORS, METHODS, FederatedConfig
+from .config import CLIENT_SAMPLING_SCHEMES, EXECUTORS, METHODS, FederatedConfig
 from .executor import (
     ClientExecutor,
     MultiprocessingClientExecutor,
@@ -20,6 +21,9 @@ __all__ = [
     "FederatedConfig",
     "METHODS",
     "EXECUTORS",
+    "CLIENT_SAMPLING_SCHEMES",
+    "AvailabilityModel",
+    "AvailabilityDraw",
     "ClientExecutor",
     "SerialClientExecutor",
     "MultiprocessingClientExecutor",

@@ -1,0 +1,133 @@
+"""Client-availability dynamics: per-round dropout and straggler exclusion.
+
+Real federated deployments never see the full selected cohort report back:
+devices go offline mid-round (dropout) and slow devices miss the server's
+aggregation deadline (stragglers).  :class:`AvailabilityModel` makes both
+first-class, deterministic dimensions of every simulation:
+
+* **Dropout** — each selected client independently fails to report with
+  probability ``dropout_rate``;
+* **Stragglers** — each surviving client draws a simulated round duration
+  from ``lognormal(0, 1)`` (median 1.0 time unit) and is excluded when it
+  exceeds ``straggler_deadline``.
+
+Determinism
+-----------
+All draws come from per-round per-slot ``np.random.SeedSequence`` streams
+keyed on ``(config.seed, availability domain tag, round_index, slot)`` — the
+same scheme :func:`repro.federated.executor.spawn_client_seeds` uses for the
+client training streams, with its own domain tag so the two never collide.
+Availability therefore depends only on the config seed, the round index and
+the slot within the selected cohort: it is identical across the serial and
+multiprocessing backends, unaffected by how many rounds ran before (exact
+checkpoint resume), and stable under the executor's scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["AvailabilityModel", "AvailabilityDraw"]
+
+
+#: Domain-separation tag for the availability SeedSequence streams (distinct
+#: from ``executor._CLIENT_STREAM_DOMAIN`` so dropout draws never correlate
+#: with training randomness).
+_AVAILABILITY_DOMAIN = 0x0A7A11
+
+
+@dataclass(frozen=True)
+class AvailabilityDraw:
+    """Outcome of one round's availability draws over the selected cohort."""
+
+    #: clients that participate (report an update in time), in selection order
+    participating: List[int] = field(default_factory=list)
+    #: slots of the participating clients within the original selected list
+    #: (used to keep each client's pre-spawned training RNG stream)
+    participating_slots: List[int] = field(default_factory=list)
+    #: clients that dropped out of the round
+    dropped: List[int] = field(default_factory=list)
+    #: clients excluded for missing the round deadline
+    stragglers: List[int] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no selected client participates (the round is skipped)."""
+        return not self.participating
+
+
+class AvailabilityModel:
+    """Deterministic per-round dropout / straggler model (see module docs)."""
+
+    def __init__(
+        self,
+        seed: int,
+        dropout_rate: float = 0.0,
+        straggler_deadline: Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= dropout_rate <= 1.0:
+            raise ValueError("dropout_rate must lie in [0, 1]")
+        if straggler_deadline is not None and straggler_deadline <= 0:
+            raise ValueError("straggler_deadline must be positive (or None to disable)")
+        self.seed = int(seed)
+        self.dropout_rate = float(dropout_rate)
+        self.straggler_deadline = (
+            float(straggler_deadline) if straggler_deadline is not None else None
+        )
+
+    @classmethod
+    def from_config(cls, config) -> "AvailabilityModel":
+        """Build the model from a :class:`~repro.federated.config.FederatedConfig`."""
+        return cls(
+            seed=config.seed,
+            dropout_rate=config.dropout_rate,
+            straggler_deadline=config.straggler_deadline,
+        )
+
+    @property
+    def active(self) -> bool:
+        """True when any availability dynamic is enabled."""
+        return self.dropout_rate > 0.0 or self.straggler_deadline is not None
+
+    # ------------------------------------------------------------------
+    def draw(self, selected: Sequence[int], round_index: int) -> AvailabilityDraw:
+        """Classify the selected cohort of one round.
+
+        Each slot consumes its own spawned stream: one uniform draw decides
+        dropout, then (only when a deadline is set) one lognormal draw gives
+        the client's simulated duration.  Enabling stragglers therefore does
+        not perturb the dropout pattern and vice versa.
+        """
+        if not self.active or not selected:
+            return AvailabilityDraw(
+                participating=[int(c) for c in selected],
+                participating_slots=list(range(len(selected))),
+            )
+        root = np.random.SeedSequence(
+            entropy=(self.seed, _AVAILABILITY_DOMAIN, int(round_index))
+        )
+        participating: List[int] = []
+        slots: List[int] = []
+        dropped: List[int] = []
+        stragglers: List[int] = []
+        for slot, (client, child) in enumerate(zip(selected, root.spawn(len(selected)))):
+            rng = np.random.default_rng(child)
+            if rng.random() < self.dropout_rate:
+                dropped.append(int(client))
+                continue
+            if self.straggler_deadline is not None:
+                duration = rng.lognormal(mean=0.0, sigma=1.0)
+                if duration > self.straggler_deadline:
+                    stragglers.append(int(client))
+                    continue
+            participating.append(int(client))
+            slots.append(slot)
+        return AvailabilityDraw(
+            participating=participating,
+            participating_slots=slots,
+            dropped=dropped,
+            stragglers=stragglers,
+        )

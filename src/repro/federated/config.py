@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 from typing import Mapping, Optional, Tuple
 
+from repro.data.partition import PARTITION_STRATEGIES
 from repro.data.registry import DatasetSpec, get_dataset_spec
 
-__all__ = ["FederatedConfig", "METHODS", "EXECUTORS"]
+__all__ = ["FederatedConfig", "METHODS", "EXECUTORS", "CLIENT_SAMPLING_SCHEMES"]
 
 
 #: Training methods understood by the trainer factory.
@@ -23,6 +24,9 @@ METHODS: Tuple[str, ...] = ("nonprivate", "fed_sdp", "fed_cdp", "fed_cdp_decay",
 
 #: Client-execution backends understood by :func:`repro.federated.executor.make_executor`.
 EXECUTORS: Tuple[str, ...] = ("serial", "multiprocessing")
+
+#: Per-round client-selection schemes understood by the server.
+CLIENT_SAMPLING_SCHEMES: Tuple[str, ...] = ("fixed", "poisson")
 
 
 @dataclass
@@ -59,6 +63,28 @@ class FederatedConfig:
     num_val_examples: int = 400
     #: per-client shard size (defaults to the Table-I value when ``None``)
     data_per_client: Optional[int] = None
+
+    # ----- heterogeneity scenario (see docs/scenarios.md) ---------------
+    #: partition strategy, one of :data:`repro.data.partition.PARTITION_STRATEGIES`
+    #: (``shards`` = the paper's Table-I scheme)
+    partition: str = "shards"
+    #: Dirichlet concentration for ``partition="dirichlet"`` (small = pathological skew)
+    dirichlet_alpha: float = 0.5
+    #: power-law exponent for ``partition="quantity_skew"`` (0 = equal sizes)
+    quantity_skew_exponent: float = 1.5
+
+    # ----- client availability (see docs/scenarios.md) ------------------
+    #: per-round client-selection scheme: ``fixed`` (exactly Kt clients) or
+    #: ``poisson`` (each client independently with probability Kt/K; a round
+    #: may select *no* clients and is then skipped)
+    client_sampling: str = "fixed"
+    #: probability that a selected client drops out of a round before
+    #: reporting its update (1.0 = every round is skipped)
+    dropout_rate: float = 0.0
+    #: round deadline in simulated time units; a surviving client whose
+    #: lognormal(0, 1) simulated duration (median 1.0) exceeds it is excluded
+    #: as a straggler (``None`` disables straggler exclusion)
+    straggler_deadline: Optional[float] = None
 
     # ----- differential privacy ----------------------------------------
     #: clipping bound ``C`` (paper default 4)
@@ -119,6 +145,23 @@ class FederatedConfig:
             raise ValueError("aggregation must be 'fedsgd' or 'fedavg'")
         if self.eval_every <= 0:
             raise ValueError("eval_every must be positive")
+        if self.partition not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown partition {self.partition!r}; expected one of {PARTITION_STRATEGIES}"
+            )
+        if self.dirichlet_alpha <= 0:
+            raise ValueError("dirichlet_alpha must be positive")
+        if self.quantity_skew_exponent < 0:
+            raise ValueError("quantity_skew_exponent must be non-negative")
+        if self.client_sampling not in CLIENT_SAMPLING_SCHEMES:
+            raise ValueError(
+                f"unknown client_sampling {self.client_sampling!r}; "
+                f"expected one of {CLIENT_SAMPLING_SCHEMES}"
+            )
+        if not 0.0 <= self.dropout_rate <= 1.0:
+            raise ValueError("dropout_rate must lie in [0, 1]")
+        if self.straggler_deadline is not None and self.straggler_deadline <= 0:
+            raise ValueError("straggler_deadline must be positive (or None to disable)")
         if self.executor not in EXECUTORS:
             raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
         if self.num_workers is not None and self.num_workers < 1:

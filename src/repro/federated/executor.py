@@ -121,6 +121,8 @@ class SerialClientExecutor(ClientExecutor):
     ) -> List:
         if len(client_seeds) < len(selected):
             raise ValueError("need one client seed per selected client")
+        if not selected:  # skipped round (dropout / empty Poisson draw)
+            return []
         results = []
         for slot, client_index in enumerate(selected):
             rng = np.random.default_rng(client_seeds[slot])
@@ -222,6 +224,8 @@ class MultiprocessingClientExecutor(ClientExecutor):
     ) -> List:
         if len(client_seeds) < len(selected):
             raise ValueError("need one client seed per selected client")
+        if not selected:  # skipped round: don't spin up the pool for nothing
+            return []
         pool = self._ensure_pool()
         weights = [np.asarray(w) for w in global_weights]
         tasks = [

@@ -39,17 +39,19 @@ def sample_clients_poisson(
 ) -> List[int]:
     """Include each client independently with the given probability.
 
-    Guaranteed to return at least one client (re-sampling on an empty draw) so
-    a round is never silently skipped.
+    This is exact Poisson subsampling: one draw per client, always consuming
+    exactly one ``rng.random(num_clients)`` call, and the result **may be
+    empty**.  (Earlier versions silently re-sampled empty draws, which both
+    biased the distribution the moments accountant assumes and consumed a
+    data-dependent amount of randomness.)  Callers must handle an empty
+    selection; :class:`~repro.federated.server.FederatedServer` skips the
+    round deterministically — server weights unchanged, the round recorded
+    with no participants — so fixed-seed trajectories stay reproducible.
     """
     if num_clients <= 0:
         raise ValueError("num_clients must be positive")
     if not 0.0 < participation_probability <= 1.0:
         raise ValueError("participation_probability must lie in (0, 1]")
     rng = rng if rng is not None else np.random.default_rng()
-    for _ in range(1000):
-        mask = rng.random(num_clients) < participation_probability
-        if mask.any():
-            return [int(i) for i in np.flatnonzero(mask)]
-    # With pathological probabilities fall back to a single uniform client.
-    return [int(rng.integers(0, num_clients))]
+    mask = rng.random(num_clients) < participation_probability
+    return [int(i) for i in np.flatnonzero(mask)]

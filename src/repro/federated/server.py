@@ -8,8 +8,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from .aggregation import fedavg_aggregate, fedsgd_aggregate
+from .availability import AvailabilityDraw, AvailabilityModel
 from .compression import prune_update
-from .sampling import sample_clients_fixed
+from .config import CLIENT_SAMPLING_SCHEMES
+from .sampling import sample_clients_fixed, sample_clients_poisson
 
 __all__ = ["RoundResult", "FederatedServer"]
 
@@ -20,7 +22,7 @@ class RoundResult:
 
     round_index: int
     selected_clients: List[int]
-    #: mean local training loss across the selected clients
+    #: mean local training loss across the participating clients
     mean_loss: float
     #: mean pre-clipping gradient L2 norm across clients (Figure 3 series)
     mean_gradient_norm: float
@@ -28,6 +30,18 @@ class RoundResult:
     mean_time_per_iteration_ms: float
     #: free-form per-round metadata (clipping bound in effect, etc.)
     metadata: Dict[str, float] = field(default_factory=dict)
+    #: clients whose updates were aggregated (== selected when no availability
+    #: dynamics are configured); an empty list marks a skipped round
+    participating_clients: List[int] = field(default_factory=list)
+    #: selected clients that dropped out before reporting
+    dropped_clients: List[int] = field(default_factory=list)
+    #: selected clients excluded for missing the round deadline
+    straggler_clients: List[int] = field(default_factory=list)
+
+    @property
+    def skipped(self) -> bool:
+        """True when no client participated (server weights were unchanged)."""
+        return not self.participating_clients
 
 
 class FederatedServer:
@@ -46,6 +60,11 @@ class FederatedServer:
     compression_ratio:
         When positive, each shared update is pruned (communication-efficient
         FL, Figure 5) before aggregation.
+    client_sampling:
+        ``"fixed"`` (exactly ``clients_per_round`` distinct clients) or
+        ``"poisson"`` (each client independently with probability
+        ``clients_per_round / K``; the draw may be empty, in which case the
+        round is skipped).
     """
 
     def __init__(
@@ -54,20 +73,29 @@ class FederatedServer:
         aggregation: str = "fedsgd",
         update_sanitizer: Optional[Callable[[List[np.ndarray], int, np.random.Generator], List[np.ndarray]]] = None,
         compression_ratio: float = 0.0,
+        client_sampling: str = "fixed",
     ) -> None:
         if aggregation not in ("fedsgd", "fedavg"):
             raise ValueError("aggregation must be 'fedsgd' or 'fedavg'")
+        if client_sampling not in CLIENT_SAMPLING_SCHEMES:
+            raise ValueError(
+                f"unknown client_sampling {client_sampling!r}; "
+                f"expected one of {CLIENT_SAMPLING_SCHEMES}"
+            )
         self.global_weights: List[np.ndarray] = [np.array(w, dtype=np.float64, copy=True) for w in global_weights]
         self.aggregation = aggregation
         self.update_sanitizer = update_sanitizer
         self.compression_ratio = float(compression_ratio)
+        self.client_sampling = client_sampling
         self.round_results: List[RoundResult] = []
 
     # ------------------------------------------------------------------
     def select_clients(
         self, num_clients: int, clients_per_round: int, rng: np.random.Generator
     ) -> List[int]:
-        """Sample the participating clients for a round."""
+        """Sample the round's cohort (possibly empty under Poisson sampling)."""
+        if self.client_sampling == "poisson":
+            return sample_clients_poisson(num_clients, clients_per_round / num_clients, rng=rng)
         return sample_clients_fixed(num_clients, clients_per_round, rng=rng)
 
     def run_round(
@@ -78,28 +106,70 @@ class FederatedServer:
         rng: np.random.Generator,
         executor=None,
         client_seeds: Optional[Sequence[np.random.SeedSequence]] = None,
+        availability: Optional[AvailabilityModel] = None,
     ) -> RoundResult:
-        """Execute one full round: select, train locally, aggregate.
+        """Execute one full round: select, filter availability, train, aggregate.
 
-        With the default ``executor=None`` the selected clients run inline and
-        share the server's ``rng`` (the pre-executor behaviour, still used by
-        direct-server tests).  When a
+        With the default ``executor=None`` the participating clients run
+        inline and share the server's ``rng`` (the pre-executor behaviour,
+        still used by direct-server tests).  When a
         :class:`~repro.federated.executor.ClientExecutor` is supplied, the
         clients' local training is delegated to it with one pre-spawned RNG
         stream per selected slot (``client_seeds``); the server then applies
         sanitisation/compression and aggregates in selection order, so the
         result is independent of the backend's scheduling.
+
+        ``availability`` (an :class:`~repro.federated.availability.
+        AvailabilityModel`) thins the selected cohort into participating /
+        dropped / straggling clients before any local training runs.  On the
+        executor path a participating client keeps the pre-spawned RNG stream
+        of its original selection slot, so enabling dropout does not perturb
+        the surviving clients' training randomness; on the inline
+        ``executor=None`` path the survivors share the server's ``rng``
+        sequentially, so their draws *do* shift when earlier slots drop out —
+        use an executor when that guarantee matters (the simulation always
+        does).  When *no* client participates (all dropped, or an empty
+        Poisson draw) the round is skipped deterministically: the global
+        weights are left untouched and an empty :class:`RoundResult` is
+        recorded.
         """
         selected = self.select_clients(len(clients), clients_per_round, rng)
+        if availability is not None:
+            draw = availability.draw(selected, round_index)
+        else:
+            draw = AvailabilityDraw(
+                participating=list(selected), participating_slots=list(range(len(selected)))
+            )
+        participants = draw.participating
+
+        if not participants:
+            outcome = RoundResult(
+                round_index=round_index,
+                selected_clients=list(selected),
+                mean_loss=float("nan"),
+                mean_gradient_norm=0.0,
+                mean_time_per_iteration_ms=0.0,
+                participating_clients=[],
+                dropped_clients=list(draw.dropped),
+                straggler_clients=list(draw.stragglers),
+            )
+            self.round_results.append(outcome)
+            return outcome
+
         if executor is None:
             results = [
                 clients[client_index].local_update(self.global_weights, round_index, rng=rng)
-                for client_index in selected
+                for client_index in participants
             ]
         else:
             if client_seeds is None:
                 raise ValueError("client_seeds is required when running with an executor")
-            results = executor.run_clients(selected, self.global_weights, round_index, client_seeds)
+            if len(client_seeds) < len(selected):
+                raise ValueError("need one client seed per selected client")
+            participant_seeds = [client_seeds[slot] for slot in draw.participating_slots]
+            results = executor.run_clients(
+                participants, self.global_weights, round_index, participant_seeds
+            )
 
         updates: List[List[np.ndarray]] = []
         local_models: List[List[np.ndarray]] = []
@@ -132,6 +202,9 @@ class FederatedServer:
             mean_gradient_norm=float(np.mean(norms)) if norms else 0.0,
             mean_time_per_iteration_ms=float(np.mean(times)) if times else 0.0,
             metadata=metadata,
+            participating_clients=list(participants),
+            dropped_clients=list(draw.dropped),
+            straggler_clients=list(draw.stragglers),
         )
         self.round_results.append(outcome)
         return outcome

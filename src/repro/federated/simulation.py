@@ -31,6 +31,7 @@ from repro.data.synthetic import generate_train_val
 from repro.nn import build_model_for_dataset, evaluate_accuracy
 from repro.privacy.accountant import MomentsAccountant
 
+from .availability import AvailabilityModel
 from .client import FederatedClient
 from .config import FederatedConfig
 from .executor import make_executor, spawn_client_seeds
@@ -81,16 +82,53 @@ class SimulationHistory:
         return [r.mean_gradient_norm for r in self.rounds]
 
     # ------------------------------------------------------------------
+    # Scenario / availability bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def participation_series(self) -> List[int]:
+        """Number of clients whose updates were aggregated, per round."""
+        return [len(r.participating_clients) for r in self.rounds]
+
+    @property
+    def total_dropped(self) -> int:
+        """Total client drop-outs across the run."""
+        return sum(len(r.dropped_clients) for r in self.rounds)
+
+    @property
+    def total_stragglers(self) -> int:
+        """Total deadline-missing client exclusions across the run."""
+        return sum(len(r.straggler_clients) for r in self.rounds)
+
+    @property
+    def skipped_rounds(self) -> int:
+        """Rounds where no client participated (server weights unchanged)."""
+        return sum(1 for r in self.rounds if r.skipped)
+
+    # ------------------------------------------------------------------
     # Serialization (checkpoints and the CLI's ``--output`` JSON)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-serialisable dictionary (round keys become strings)."""
+        """Strict-JSON-serialisable dictionary (round keys become strings).
+
+        ``NaN`` metrics (the loss of a skipped round, the accuracy of a run
+        interrupted before its first evaluation) are encoded as ``null`` so
+        the emitted checkpoints and ``--output`` files stay valid RFC-8259
+        JSON for strict consumers (jq, ``JSON.parse``, ...).
+        """
+        def de_nan(value: float):
+            return None if isinstance(value, float) and np.isnan(value) else value
+
+        rounds = []
+        for result in self.rounds:
+            payload = asdict(result)
+            payload["mean_loss"] = de_nan(payload["mean_loss"])
+            rounds.append(payload)
         return {
             "config": self.config.to_dict(),
             "accuracy_by_round": {str(k): v for k, v in self.accuracy_by_round.items()},
             "epsilon_by_round": {str(k): v for k, v in self.epsilon_by_round.items()},
-            "rounds": [asdict(r) for r in self.rounds],
-            "final_accuracy": self.final_accuracy,
+            "rounds": rounds,
+            "final_accuracy": de_nan(self.final_accuracy),
             "final_epsilon": self.final_epsilon,
             "mean_time_per_iteration_ms": self.mean_time_per_iteration_ms,
         }
@@ -99,11 +137,20 @@ class SimulationHistory:
     def from_dict(cls, payload: dict, config: Optional[FederatedConfig] = None) -> "SimulationHistory":
         """Inverse of :meth:`to_dict` (derived summary fields are recomputed)."""
         config = config if config is not None else FederatedConfig.from_dict(payload["config"])
+        rounds = []
+        for entry in payload["rounds"]:
+            entry = dict(entry)
+            # payloads written before the availability layer existed carry no
+            # participation bookkeeping; back then every selected client participated
+            entry.setdefault("participating_clients", list(entry["selected_clients"]))
+            if entry["mean_loss"] is None:  # skipped round, serialised as null
+                entry["mean_loss"] = float("nan")
+            rounds.append(RoundResult(**entry))
         return cls(
             config=config,
             accuracy_by_round={int(k): float(v) for k, v in payload["accuracy_by_round"].items()},
             epsilon_by_round={int(k): float(v) for k, v in payload["epsilon_by_round"].items()},
-            rounds=[RoundResult(**r) for r in payload["rounds"]],
+            rounds=rounds,
         )
 
 
@@ -152,6 +199,9 @@ class FederatedSimulation:
             config.num_clients,
             rng=self.rng,
             data_per_client=config.effective_data_per_client,
+            strategy=config.partition,
+            dirichlet_alpha=config.dirichlet_alpha,
+            quantity_skew_exponent=config.quantity_skew_exponent,
         )
         self.clients = [
             FederatedClient(client_id, shard, self.trainer)
@@ -167,7 +217,9 @@ class FederatedSimulation:
             aggregation=config.aggregation,
             update_sanitizer=sanitizer,
             compression_ratio=config.compression_ratio,
+            client_sampling=config.client_sampling,
         )
+        self.availability = AvailabilityModel.from_config(config)
         self.accountant = MomentsAccountant()
         self.history = SimulationHistory(config=config)
         self._completed_rounds = 0
@@ -203,10 +255,16 @@ class FederatedSimulation:
         total_rounds = rounds if rounds is not None else self.config.rounds
         history = self.history
         is_private = self.config.method in ("fed_sdp", "fed_cdp", "fed_cdp_decay")
+        # Poisson sampling may select any subset of the population, so spawn a
+        # seed stream per possible slot; spawned children depend only on their
+        # index, so over-spawning never changes the streams that are used.
+        seed_slots = (
+            self.config.num_clients
+            if self.config.client_sampling == "poisson"
+            else self.config.clients_per_round
+        )
         for round_index in range(self._completed_rounds, total_rounds):
-            client_seeds = spawn_client_seeds(
-                self.config.seed, round_index, self.config.clients_per_round
-            )
+            client_seeds = spawn_client_seeds(self.config.seed, round_index, seed_slots)
             result = self.server.run_round(
                 self.clients,
                 round_index,
@@ -214,10 +272,14 @@ class FederatedSimulation:
                 self.rng,
                 executor=self.executor,
                 client_seeds=client_seeds,
+                availability=self.availability if self.availability.active else None,
             )
             history.rounds.append(result)
             if is_private:
-                self.trainer.accumulate_privacy(self.accountant, round_index)
+                # a skipped round releases nothing, so it costs no privacy;
+                # epsilon is still recorded (flat) to keep the series per-round
+                if not result.skipped:
+                    self.trainer.accumulate_privacy(self.accountant, round_index)
                 history.epsilon_by_round[round_index] = self.accountant.get_epsilon(self.config.delta)
             # forced final evaluation happens at the end of the *experiment*
             # (not at the interruption point of a partial run(rounds=N) call,

@@ -178,6 +178,89 @@ def test_unknown_profile_is_rejected(tmp_path):
         main(["run", "--config", str(config_path)])
 
 
+def test_run_with_scenario_flags(tmp_path):
+    assert main(
+        _run_args(
+            tmp_path, "--rounds", "3",
+            "--partition", "dirichlet", "--dirichlet-alpha", "0.2",
+            "--dropout", "0.4", "--straggler-deadline", "2.0",
+        )
+    ) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["partition"] == "dirichlet"
+    assert payload["config"]["dirichlet_alpha"] == 0.2
+    assert payload["config"]["dropout_rate"] == 0.4
+    assert payload["config"]["straggler_deadline"] == 2.0
+    availability_events = sum(
+        len(r["dropped_clients"]) + len(r["straggler_clients"]) for r in payload["rounds"]
+    )
+    assert availability_events > 0
+    for r in payload["rounds"]:
+        assert sorted(
+            r["participating_clients"] + r["dropped_clients"] + r["straggler_clients"]
+        ) == sorted(r["selected_clients"])
+
+
+def test_run_with_scenario_config_file(tmp_path):
+    config_path = tmp_path / "scenario.json"
+    config_path.write_text(
+        json.dumps(
+            {
+                "profile": "quick",
+                "dataset": "cancer",
+                "method": "nonprivate",
+                "rounds": 2,
+                "partition": "quantity_skew",
+                "client_sampling": "poisson",
+            }
+        )
+    )
+    assert main(
+        [
+            "run", "--config", str(config_path), "--quantity-skew-exponent", "2.0",
+            "--output", str(tmp_path / "history.json"),
+        ]
+    ) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["partition"] == "quantity_skew"
+    assert payload["config"]["quantity_skew_exponent"] == 2.0
+    assert payload["config"]["client_sampling"] == "poisson"
+
+
+def test_resume_rejects_conflicting_scenario_flags(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    assert main(_run_args(tmp_path, "--rounds", "2", "--checkpoint", checkpoint)) == 0
+    with pytest.raises(SystemExit, match="dropout"):
+        main(
+            _run_args(
+                tmp_path, "--rounds", "3", "--checkpoint", checkpoint, "--resume",
+                "--dropout", "0.5",
+            )
+        )
+
+
+def test_scenarios_subcommand(tmp_path, capsys):
+    output = tmp_path / "scenarios.txt"
+    assert main(
+        [
+            "scenarios", "--methods", "nonprivate",
+            "--partitions", "iid", "dirichlet(0.1)",
+            "--availabilities", "dropout(0.3)",
+            "--dataset", "cancer", "--seed", "3",
+            "--output", str(output),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Scenario matrix" in out
+    assert "dirichlet(0.1)" in out
+    assert "Scenario matrix" in output.read_text()
+
+
+def test_scenarios_subcommand_rejects_unknown_names():
+    with pytest.raises(SystemExit):
+        main(["scenarios", "--partitions", "martian", "--dataset", "cancer"])
+
+
 def test_tables_subcommand_table6(tmp_path, capsys):
     output = tmp_path / "tables.txt"
     assert main(["tables", "6", "--output", str(output)]) == 0

@@ -8,6 +8,25 @@ import pytest
 from repro.autodiff import Tensor, grad
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the golden-trajectory fixtures under tests/federated/golden/ "
+            "from the current code instead of comparing against them "
+            "(a no-op on an unchanged tree)"
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should regenerate golden fixtures instead of asserting."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for tests."""

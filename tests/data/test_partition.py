@@ -7,11 +7,17 @@ import pytest
 
 from repro.data import (
     Dataset,
+    dirichlet_partition_indices,
     generate_image_dataset,
     get_dataset_spec,
+    iid_partition_indices,
     partition_by_class_shards,
     partition_dataset,
+    partition_dirichlet,
     partition_full_copy,
+    partition_iid,
+    partition_quantity_skew,
+    quantity_skew_partition_indices,
 )
 
 
@@ -89,3 +95,111 @@ def test_partition_is_reproducible_with_seeded_rng():
     for left, right in zip(a, b):
         np.testing.assert_array_equal(left.labels, right.labels)
         np.testing.assert_array_equal(left.features, right.features)
+
+
+# ----------------------------------------------------------------------
+# Scenario-engine partitioners (IID / Dirichlet / quantity skew)
+# ----------------------------------------------------------------------
+def _assert_disjoint_cover(parts, num_examples):
+    flat = np.concatenate(parts)
+    assert flat.size == num_examples  # full coverage, nothing duplicated
+    np.testing.assert_array_equal(np.sort(flat), np.arange(num_examples))
+    assert all(part.size > 0 for part in parts)  # no client left empty
+
+
+def test_iid_partition_indices_disjoint_cover(rng):
+    parts = iid_partition_indices(103, 8, rng=rng)
+    assert len(parts) == 8
+    _assert_disjoint_cover(parts, 103)
+    sizes = [p.size for p in parts]
+    assert max(sizes) - min(sizes) <= 1  # near-equal split
+
+
+def test_dirichlet_partition_indices_disjoint_cover(rng):
+    data = _toy_dataset(n=211)
+    parts = dirichlet_partition_indices(data.labels, 7, alpha=0.3, rng=rng)
+    assert len(parts) == 7
+    _assert_disjoint_cover(parts, 211)
+
+
+def test_quantity_skew_partition_indices_disjoint_cover_and_skew(rng):
+    parts = quantity_skew_partition_indices(200, 6, exponent=2.0, rng=rng)
+    _assert_disjoint_cover(parts, 200)
+    sizes = sorted(p.size for p in parts)
+    assert sizes[-1] > 3 * sizes[0]  # heavy-tailed: the largest dwarfs the smallest
+    flat = quantity_skew_partition_indices(60, 6, exponent=0.0, rng=np.random.default_rng(0))
+    assert all(p.size == 10 for p in flat)  # exponent 0 = equal split
+
+
+def _mean_label_concentration(shards):
+    """Mean Herfindahl index of the per-client label marginals."""
+    return float(np.mean([np.sum(s.class_distribution() ** 2) for s in shards]))
+
+
+def test_dirichlet_concentration_monotone_in_alpha():
+    # The acceptance criterion: the Dirichlet partitioner spans IID (large
+    # alpha, flat label marginals) to pathological (small alpha, each client
+    # concentrated on few classes).  Concentration must increase as alpha
+    # decreases, for several seeds.
+    data = _toy_dataset(n=600, classes=10)
+    alphas = [100.0, 5.0, 0.5, 0.05]
+    for seed in range(3):
+        concentrations = [
+            _mean_label_concentration(
+                partition_dirichlet(data, 6, alpha, rng=np.random.default_rng(seed))
+            )
+            for alpha in alphas
+        ]
+        assert all(
+            later > earlier for earlier, later in zip(concentrations, concentrations[1:])
+        ), f"seed {seed}: concentration {concentrations} not monotone over alphas {alphas}"
+    # the extremes genuinely span IID -> pathological
+    iid_like = _mean_label_concentration(
+        partition_dirichlet(data, 6, 100.0, rng=np.random.default_rng(0))
+    )
+    pathological = _mean_label_concentration(
+        partition_dirichlet(data, 6, 0.05, rng=np.random.default_rng(0))
+    )
+    assert iid_like < 0.2  # ~uniform over 10 classes (0.1 ideal)
+    assert pathological > 0.5  # dominated by one or two classes
+
+
+def test_scenario_partitioners_are_seed_stable():
+    data = _toy_dataset(n=150)
+    for build in (
+        lambda r: partition_iid(data, 5, rng=r),
+        lambda r: partition_dirichlet(data, 5, 0.2, rng=r),
+        lambda r: partition_quantity_skew(data, 5, 1.5, rng=r),
+    ):
+        a = build(np.random.default_rng(13))
+        b = build(np.random.default_rng(13))
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left.labels, right.labels)
+            np.testing.assert_array_equal(left.features, right.features)
+
+
+def test_scenario_partitioners_validation(rng):
+    data = _toy_dataset(n=20)
+    with pytest.raises(ValueError):
+        iid_partition_indices(5, 6, rng=rng)  # more clients than examples
+    with pytest.raises(ValueError):
+        dirichlet_partition_indices(data.labels, 3, alpha=0.0, rng=rng)
+    with pytest.raises(ValueError):
+        dirichlet_partition_indices(data.labels, 3, alpha=0.5, min_per_client=0, rng=rng)
+    with pytest.raises(ValueError):
+        quantity_skew_partition_indices(20, 3, exponent=-1.0, rng=rng)
+    with pytest.raises(ValueError):
+        quantity_skew_partition_indices(20, 3, exponent=1.0, min_per_client=10, rng=rng)
+
+
+def test_partition_dataset_strategy_dispatch(rng):
+    spec = get_dataset_spec("mnist")
+    data = _toy_dataset(n=120, classes=10)
+    iid = partition_dataset(data, spec, 4, rng=rng, strategy="iid")
+    assert sum(len(s) for s in iid) == 120
+    dirichlet = partition_dataset(data, spec, 4, rng=rng, strategy="dirichlet", dirichlet_alpha=0.1)
+    assert sum(len(s) for s in dirichlet) == 120
+    skew = partition_dataset(data, spec, 4, rng=rng, strategy="quantity_skew")
+    assert sum(len(s) for s in skew) == 120
+    with pytest.raises(ValueError):
+        partition_dataset(data, spec, 4, rng=rng, strategy="bogus")

@@ -6,7 +6,14 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data import Dataset, generate_tabular_dataset, partition_by_class_shards
+from repro.data import (
+    Dataset,
+    dirichlet_partition_indices,
+    generate_tabular_dataset,
+    iid_partition_indices,
+    partition_by_class_shards,
+    quantity_skew_partition_indices,
+)
 
 
 @settings(max_examples=25, deadline=None)
@@ -68,6 +75,95 @@ def test_batch_sampling_invariants(n, batch_size, num_batches, seed):
         assert features.shape[0] == labels.shape[0] == min(batch_size, n)
         # batch content always comes from the dataset
         assert set(features.reshape(-1).tolist()) <= set(range(n))
+
+
+# ----------------------------------------------------------------------
+# Scenario-engine partitioner invariants: every disjoint strategy must
+# cover all indices exactly once, leave no client empty, and be a pure
+# function of (inputs, seed).
+# ----------------------------------------------------------------------
+def _assert_disjoint_partition_invariants(parts, num_examples, num_clients):
+    assert len(parts) == num_clients
+    assert all(part.size >= 1 for part in parts)  # non-empty clients
+    flat = np.concatenate(parts)
+    assert flat.size == num_examples  # disjoint (no index twice) ...
+    np.testing.assert_array_equal(np.sort(flat), np.arange(num_examples))  # ... and full coverage
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_examples=st.integers(min_value=12, max_value=200),
+    num_clients=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_iid_partition_invariants(num_examples, num_clients, seed):
+    parts = iid_partition_indices(num_examples, num_clients, rng=np.random.default_rng(seed))
+    _assert_disjoint_partition_invariants(parts, num_examples, num_clients)
+    again = iid_partition_indices(num_examples, num_clients, rng=np.random.default_rng(seed))
+    for a, b in zip(parts, again):
+        np.testing.assert_array_equal(a, b)  # seed-stability
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_examples=st.integers(min_value=15, max_value=200),
+    num_clients=st.integers(min_value=1, max_value=10),
+    num_classes=st.integers(min_value=2, max_value=6),
+    alpha=st.floats(min_value=0.05, max_value=50.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_dirichlet_partition_invariants(num_examples, num_clients, num_classes, alpha, seed):
+    labels = np.random.default_rng(seed).integers(0, num_classes, size=num_examples)
+    parts = dirichlet_partition_indices(
+        labels, num_clients, alpha, rng=np.random.default_rng(seed)
+    )
+    _assert_disjoint_partition_invariants(parts, num_examples, num_clients)
+    again = dirichlet_partition_indices(
+        labels, num_clients, alpha, rng=np.random.default_rng(seed)
+    )
+    for a, b in zip(parts, again):
+        np.testing.assert_array_equal(a, b)  # seed-stability
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_examples=st.integers(min_value=12, max_value=300),
+    num_clients=st.integers(min_value=1, max_value=10),
+    exponent=st.floats(min_value=0.0, max_value=3.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_quantity_skew_partition_invariants(num_examples, num_clients, exponent, seed):
+    parts = quantity_skew_partition_indices(
+        num_examples, num_clients, exponent, rng=np.random.default_rng(seed)
+    )
+    _assert_disjoint_partition_invariants(parts, num_examples, num_clients)
+    again = quantity_skew_partition_indices(
+        num_examples, num_clients, exponent, rng=np.random.default_rng(seed)
+    )
+    for a, b in zip(parts, again):
+        np.testing.assert_array_equal(a, b)  # seed-stability
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_clients=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=200),
+)
+def test_dirichlet_alpha_orders_concentration(num_clients, seed):
+    """Label-marginal concentration is monotone in alpha across random setups."""
+    labels = np.random.default_rng(seed).integers(0, 8, size=400)
+
+    def concentration(alpha):
+        parts = dirichlet_partition_indices(
+            labels, num_clients, alpha, rng=np.random.default_rng(seed)
+        )
+        marginals = [
+            np.bincount(labels[part], minlength=8) / part.size for part in parts
+        ]
+        return float(np.mean([np.sum(m**2) for m in marginals]))
+
+    # widely separated alphas so the ordering is statistically safe per-seed
+    assert concentration(0.05) > concentration(100.0)
 
 
 @settings(max_examples=20, deadline=None)

@@ -1,0 +1,75 @@
+"""Tests for the scenario matrix runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import (
+    AVAILABILITY_SCENARIOS,
+    PARTITION_SCENARIOS,
+    run_scenario_matrix,
+)
+
+
+def _tiny_matrix(**kwargs):
+    return run_scenario_matrix(
+        methods=("nonprivate",),
+        partitions=["iid", "dirichlet(0.1)"],
+        availabilities=["reliable", "dropout(0.3)"],
+        dataset="cancer",
+        profile="quick",
+        seed=2,  # a seed whose rounds 0-1 contain dropout events
+        rounds=2,
+        eval_every=2,
+        **kwargs,
+    )
+
+
+def test_matrix_runs_every_cell_and_formats():
+    result = _tiny_matrix()
+    assert len(result.cells) == 4
+    assert {(c.partition, c.availability) for c in result.cells} == {
+        ("iid", "reliable"),
+        ("iid", "dropout(0.3)"),
+        ("dirichlet(0.1)", "reliable"),
+        ("dirichlet(0.1)", "dropout(0.3)"),
+    }
+    for cell in result.cells:
+        assert 0.0 <= cell.final_accuracy <= 1.0
+        assert cell.final_epsilon == 0.0  # nonprivate
+        assert result.histories[(cell.partition, cell.availability, cell.method)]
+    rendered = result.formatted()
+    assert "Scenario matrix" in rendered
+    assert "dirichlet(0.1)" in rendered
+    assert "dropout(0.3)" in rendered
+
+
+def test_dropout_cells_record_losses_and_reliable_cells_do_not():
+    result = _tiny_matrix()
+    by_availability = {}
+    for cell in result.cells:
+        by_availability.setdefault(cell.availability, []).append(cell)
+    assert all(c.total_dropped == 0 for c in by_availability["reliable"])
+    assert sum(c.total_dropped for c in by_availability["dropout(0.3)"]) > 0
+    # reliable quick-profile cells aggregate all Kt=3 clients every round
+    assert all(c.mean_participants == 3.0 for c in by_availability["reliable"])
+
+
+def test_matrix_is_deterministic():
+    first = _tiny_matrix()
+    second = _tiny_matrix()
+    for a, b in zip(first.cells, second.cells):
+        assert a.final_accuracy == b.final_accuracy
+        assert a.total_dropped == b.total_dropped
+
+
+def test_unknown_scenario_names_are_rejected():
+    with pytest.raises(ValueError, match="martian"):
+        run_scenario_matrix(partitions=["martian"], dataset="cancer")
+
+
+def test_default_scenario_registries_are_wired():
+    # every registered scenario must produce a valid config override set
+    assert set(PARTITION_SCENARIOS["dirichlet(0.1)"]) == {"partition", "dirichlet_alpha"}
+    assert "dropout_rate" in AVAILABILITY_SCENARIOS["dropout(0.3)"]
+    assert AVAILABILITY_SCENARIOS["reliable"] == {}

@@ -1,0 +1,202 @@
+"""Tests for the client-availability layer (dropout / straggler dynamics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import quick_config
+from repro.federated import AvailabilityModel, FederatedSimulation
+from repro.federated.availability import _AVAILABILITY_DOMAIN
+from repro.federated.executor import _CLIENT_STREAM_DOMAIN
+
+
+# ----------------------------------------------------------------------
+# The model itself
+# ----------------------------------------------------------------------
+def test_inactive_model_passes_everyone_through():
+    model = AvailabilityModel(seed=0)
+    assert not model.active
+    draw = model.draw([4, 7, 9], round_index=3)
+    assert draw.participating == [4, 7, 9]
+    assert draw.participating_slots == [0, 1, 2]
+    assert draw.dropped == [] and draw.stragglers == []
+    assert not draw.is_empty
+
+
+def test_draws_are_deterministic_and_round_dependent():
+    model = AvailabilityModel(seed=5, dropout_rate=0.5)
+    first = model.draw(list(range(20)), round_index=0)
+    again = model.draw(list(range(20)), round_index=0)
+    assert first == again  # same (seed, round) => identical classification
+    other_round = model.draw(list(range(20)), round_index=1)
+    assert (first.participating, first.dropped) != (
+        other_round.participating,
+        other_round.dropped,
+    )
+
+
+def test_draws_depend_on_slot_not_on_cohort_size():
+    # slot i's fate is decided by its own spawned stream, so a cohort prefix
+    # keeps its classification when more clients are appended
+    def classify(draw):
+        out = {}
+        for status in ("participating", "dropped", "stragglers"):
+            for client in getattr(draw, status):
+                out[client] = status
+        return out
+
+    model = AvailabilityModel(seed=9, dropout_rate=0.4, straggler_deadline=2.0)
+    small = classify(model.draw([3, 1, 4], round_index=2))
+    large = classify(model.draw([3, 1, 4, 0, 5], round_index=2))
+    for client in (3, 1, 4):
+        assert small[client] == large[client]
+
+
+def test_enabling_stragglers_does_not_perturb_dropout_pattern():
+    cohort = list(range(50))
+    base = AvailabilityModel(seed=2, dropout_rate=0.3).draw(cohort, 0)
+    with_deadline = AvailabilityModel(seed=2, dropout_rate=0.3, straggler_deadline=1.0).draw(
+        cohort, 0
+    )
+    assert base.dropped == with_deadline.dropped
+    # stragglers are carved out of the previously-participating set only
+    assert set(with_deadline.stragglers) <= set(base.participating)
+
+
+def test_extreme_rates():
+    everyone_drops = AvailabilityModel(seed=0, dropout_rate=1.0).draw([0, 1, 2], 0)
+    assert everyone_drops.is_empty
+    assert everyone_drops.dropped == [0, 1, 2]
+    tight_deadline = AvailabilityModel(seed=0, straggler_deadline=1e-9).draw([0, 1, 2], 0)
+    assert tight_deadline.is_empty
+    assert tight_deadline.stragglers == [0, 1, 2]
+
+
+def test_straggler_rate_matches_lognormal_deadline_probability():
+    # deadline d over lognormal(0,1) durations excludes with p = 1 - Phi(ln d)
+    from scipy.stats import norm
+
+    deadline = 2.0
+    cohort = list(range(400))
+    model = AvailabilityModel(seed=7, straggler_deadline=deadline)
+    stragglers = sum(len(model.draw(cohort, r).stragglers) for r in range(5))
+    expected = (1.0 - norm.cdf(np.log(deadline))) * len(cohort) * 5
+    assert 0.7 * expected < stragglers < 1.3 * expected
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        AvailabilityModel(seed=0, dropout_rate=-0.1)
+    with pytest.raises(ValueError):
+        AvailabilityModel(seed=0, dropout_rate=1.5)
+    with pytest.raises(ValueError):
+        AvailabilityModel(seed=0, straggler_deadline=0.0)
+
+
+def test_availability_domain_is_separated_from_client_streams():
+    assert _AVAILABILITY_DOMAIN != _CLIENT_STREAM_DOMAIN
+
+
+# ----------------------------------------------------------------------
+# Simulation-level semantics
+# ----------------------------------------------------------------------
+def test_dropout_rounds_record_participation_bookkeeping():
+    config = quick_config("cancer", "nonprivate", rounds=4, eval_every=1, seed=4, dropout_rate=0.4)
+    history = FederatedSimulation(config).run()
+    for result in history.rounds:
+        assert sorted(
+            result.participating_clients + result.dropped_clients + result.straggler_clients
+        ) == sorted(result.selected_clients)
+    assert history.total_dropped > 0
+    assert history.total_stragglers == 0
+    assert len(history.participation_series) == 4
+
+
+def test_all_dropout_run_skips_every_round_deterministically():
+    # dropout_rate=1.0: every round is skipped — weights never move, accuracy
+    # is flat, the accountant never accumulates, and nothing crashes
+    config = quick_config("cancer", "fed_cdp", rounds=3, eval_every=1, seed=0, dropout_rate=1.0)
+    simulation = FederatedSimulation(config)
+    initial_weights = simulation.global_weights()
+    history = simulation.run()
+    assert history.skipped_rounds == 3
+    assert all(r.skipped for r in history.rounds)
+    for before, after in zip(initial_weights, simulation.global_weights()):
+        np.testing.assert_array_equal(before, after)
+    accuracies = list(history.accuracy_by_round.values())
+    assert all(a == accuracies[0] for a in accuracies)
+    # skipped rounds release nothing, so no privacy is spent (epsilon recorded flat)
+    assert history.final_epsilon == 0.0
+    assert sorted(history.epsilon_by_round) == [0, 1, 2]
+    assert all(np.isnan(r.mean_loss) for r in history.rounds)
+    # skipped-round NaN losses serialise as null (strict RFC-8259 JSON, no
+    # bare NaN tokens in checkpoints / --output files) and round-trip back
+    import json
+
+    from repro.federated import SimulationHistory
+
+    payload = history.to_dict()
+    text = json.dumps(payload, allow_nan=False)  # raises on any NaN leak
+    rebuilt = SimulationHistory.from_dict(json.loads(text))
+    assert all(np.isnan(r.mean_loss) for r in rebuilt.rounds)
+    assert [r.participating_clients for r in rebuilt.rounds] == [
+        r.participating_clients for r in history.rounds
+    ]
+
+
+def test_poisson_sampling_runs_and_skips_empty_draws():
+    # tiny participation probability: most rounds select nobody; the run must
+    # complete with deterministic bookkeeping rather than crash
+    config = quick_config(
+        "cancer",
+        "nonprivate",
+        rounds=5,
+        eval_every=1,
+        seed=3,
+        client_sampling="poisson",
+        participation_fraction=0.17,  # ~1 of 6 clients per round in expectation
+    )
+    first = FederatedSimulation(config).run()
+    second = FederatedSimulation(config).run()
+    assert [r.selected_clients for r in first.rounds] == [
+        r.selected_clients for r in second.rounds
+    ]
+    assert first.final_accuracy == second.final_accuracy
+    sizes = {len(r.selected_clients) for r in first.rounds}
+    assert len(sizes) > 1  # Poisson cohort sizes genuinely vary
+    if first.skipped_rounds:
+        skipped = next(r for r in first.rounds if r.skipped)
+        assert np.isnan(skipped.mean_loss)
+
+
+def test_empty_poisson_round_keeps_weights(monkeypatch):
+    # force an empty selection to pin the skip semantics independent of seeds
+    config = quick_config("cancer", "nonprivate", rounds=1, eval_every=1, seed=0,
+                          client_sampling="poisson")
+    simulation = FederatedSimulation(config)
+    monkeypatch.setattr(simulation.server, "select_clients", lambda *a, **k: [])
+    before = simulation.global_weights()
+    history = simulation.run()
+    assert history.rounds[0].skipped
+    assert history.rounds[0].selected_clients == []
+    for w_before, w_after in zip(before, simulation.global_weights()):
+        np.testing.assert_array_equal(w_before, w_after)
+
+
+def test_private_methods_spend_less_privacy_under_heavy_dropout():
+    base = quick_config("cancer", "fed_sdp", rounds=4, eval_every=4, seed=6)
+    reliable = FederatedSimulation(base).run()
+    flaky = FederatedSimulation(base.with_overrides(dropout_rate=1.0)).run()
+    assert flaky.final_epsilon == 0.0
+    assert reliable.final_epsilon > flaky.final_epsilon
+
+
+def test_default_configs_have_no_availability_dynamics():
+    config = quick_config("cancer", "nonprivate")
+    simulation = FederatedSimulation(config)
+    assert not simulation.availability.active
+    history = simulation.run()
+    for result in history.rounds:
+        assert result.participating_clients == result.selected_clients
+        assert not result.dropped_clients and not result.straggler_clients

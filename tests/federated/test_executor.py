@@ -247,6 +247,83 @@ def test_checkpoint_every_validation():
         FederatedSimulation(config).run(checkpoint_every=0)
 
 
+# ----------------------------------------------------------------------
+# Scenario determinism: heterogeneity + availability dynamics must keep
+# the serial/multiprocessing equivalence and exact checkpoint resume
+# ----------------------------------------------------------------------
+def _scenario_config():
+    return quick_config(
+        "cancer",
+        "fed_cdp",
+        rounds=4,
+        eval_every=1,
+        seed=21,
+        partition="dirichlet",
+        dirichlet_alpha=0.3,
+        dropout_rate=0.3,
+        straggler_deadline=2.0,
+    )
+
+
+def _assert_participation_equal(first, second):
+    for a, b in zip(first.rounds, second.rounds):
+        assert a.participating_clients == b.participating_clients
+        assert a.dropped_clients == b.dropped_clients
+        assert a.straggler_clients == b.straggler_clients
+
+
+def test_dropout_straggler_run_identical_serial_vs_multiprocessing():
+    config = _scenario_config()
+    serial = _run(config)
+    parallel = _run(config.with_overrides(executor="multiprocessing", num_workers=2))
+    _assert_histories_equal(serial, parallel)
+    _assert_participation_equal(serial, parallel)
+    # the scenario genuinely exercised the availability layer
+    assert serial.total_dropped > 0
+    assert serial.total_stragglers > 0
+    assert [r.mean_loss for r in serial.rounds] == [r.mean_loss for r in parallel.rounds]
+
+
+def test_dropout_straggler_checkpoint_resume_is_exact(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    config = _scenario_config()
+    uninterrupted = _run(config)
+
+    FederatedSimulation(config).run(rounds=2, checkpoint_path=checkpoint)
+    resumed_sim = FederatedSimulation.from_checkpoint(checkpoint)
+    resumed = resumed_sim.run()
+
+    _assert_histories_equal(uninterrupted, resumed)
+    _assert_participation_equal(uninterrupted, resumed)
+    assert uninterrupted.final_accuracy == resumed.final_accuracy  # bit-identical
+
+
+def test_dropout_checkpoint_resume_across_backends(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    config = _scenario_config()
+    uninterrupted = _run(config)
+
+    FederatedSimulation(config).run(rounds=1, checkpoint_path=checkpoint)
+    with FederatedSimulation.from_checkpoint(
+        checkpoint, executor="multiprocessing", num_workers=2
+    ) as resumed_sim:
+        resumed = resumed_sim.run()
+    _assert_histories_equal(uninterrupted, resumed)
+    _assert_participation_equal(uninterrupted, resumed)
+
+
+def test_surviving_clients_keep_their_training_streams_under_dropout():
+    # a client that participates in round r trains identically whether or not
+    # other clients dropped out that round: its stream is keyed on its
+    # selection slot, and the availability draws live in their own RNG domain
+    base = quick_config("cancer", "nonprivate", rounds=1, eval_every=1, seed=21)
+    clean = _run(base)
+    flaky = _run(base.with_overrides(dropout_rate=0.3))
+    clean_round, flaky_round = clean.rounds[0], flaky.rounds[0]
+    assert clean_round.selected_clients == flaky_round.selected_clients
+    assert set(flaky_round.participating_clients) < set(clean_round.selected_clients)
+
+
 def test_history_round_trips_through_dict():
     config = quick_config("cancer", "fed_cdp", rounds=2, eval_every=1, seed=3)
     history = _run(config)

@@ -1,0 +1,166 @@
+"""Golden-trajectory regression suite.
+
+PR 2 made fixed-seed simulations bit-identical across execution backends and
+checkpoint resume; this suite locks the actual *values* of those trajectories
+in as committed JSON fixtures, so any future change to the data substrate,
+partitioning, trainers, aggregation, privacy accounting or RNG discipline
+that shifts the numerics is caught immediately.
+
+One fixture per scenario lives in ``tests/federated/golden/`` and records the
+seed-1234 quick-profile trajectory (per-round losses, gradient norms,
+accuracy, epsilon and participation bookkeeping — everything deterministic;
+wall-clock timings are excluded).  Metrics must match to ``<= 1e-8``.
+
+Regenerating after an *intentional* numerics change::
+
+    PYTHONPATH=src python -m pytest tests/federated/test_golden_trajectories.py --update-golden
+
+On an unchanged tree the command rewrites byte-identical files (verified by
+:func:`test_update_golden_is_noop_on_unchanged_tree`).  Review regenerated
+fixtures like any other diff — they *are* the experiment's results.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict
+
+import pytest
+
+from repro.experiments.harness import quick_config
+from repro.federated import FederatedConfig, FederatedSimulation
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: tolerance demanded by the acceptance criteria (the trajectories are in
+#: fact written at full float64 repr precision)
+TOL = 1e-8
+
+
+def golden_configs() -> Dict[str, FederatedConfig]:
+    """The committed scenario grid: method x partition (+ one flaky-network cell).
+
+    Uses the tiny ``cancer`` dataset so the whole suite stays a few seconds;
+    the trajectories still exercise partitioning, sampling, clipping, noise,
+    aggregation and accounting end to end.
+    """
+    base = dict(rounds=3, eval_every=1, seed=1234)
+    configs: Dict[str, FederatedConfig] = {}
+    for method in ("nonprivate", "fed_sdp", "fed_cdp"):
+        configs[f"{method}_iid"] = quick_config("cancer", method, partition="iid", **base)
+        configs[f"{method}_dirichlet"] = quick_config(
+            "cancer", method, partition="dirichlet", dirichlet_alpha=0.3, **base
+        )
+    configs["fed_cdp_dirichlet_flaky"] = quick_config(
+        "cancer",
+        "fed_cdp",
+        partition="dirichlet",
+        dirichlet_alpha=0.3,
+        dropout_rate=0.25,
+        straggler_deadline=2.0,
+        **base,
+    )
+    return configs
+
+
+def _round_trip_float(value: float):
+    """NaN (skipped rounds) is encoded as ``None`` to keep fixtures strict JSON."""
+    return None if math.isnan(value) else float(value)
+
+
+def trajectory_payload(history) -> dict:
+    """The deterministic subset of a history (no wall-clock timings)."""
+    return {
+        "config": history.config.to_dict(),
+        "accuracy_by_round": {str(k): float(v) for k, v in sorted(history.accuracy_by_round.items())},
+        "epsilon_by_round": {str(k): float(v) for k, v in sorted(history.epsilon_by_round.items())},
+        "rounds": [
+            {
+                "round_index": r.round_index,
+                "selected_clients": list(r.selected_clients),
+                "participating_clients": list(r.participating_clients),
+                "dropped_clients": list(r.dropped_clients),
+                "straggler_clients": list(r.straggler_clients),
+                "mean_loss": _round_trip_float(r.mean_loss),
+                "mean_gradient_norm": float(r.mean_gradient_norm),
+            }
+            for r in history.rounds
+        ],
+    }
+
+
+def _render(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _assert_close(expected, actual, path=""):
+    """Recursive comparison with ``TOL`` on floats and exactness elsewhere."""
+    if isinstance(expected, float) and isinstance(actual, (int, float)):
+        assert actual == pytest.approx(expected, abs=TOL), f"{path}: {actual} != {expected}"
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict) and sorted(actual) == sorted(expected), (
+            f"{path}: keys {sorted(actual)} != {sorted(expected)}"
+        )
+        for key in expected:
+            _assert_close(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), (
+            f"{path}: length {len(actual)} != {len(expected)}"
+        )
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _assert_close(e, a, f"{path}[{index}]")
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+def _run_scenario(config: FederatedConfig) -> dict:
+    with FederatedSimulation(config) as simulation:
+        history = simulation.run()
+    # normalise through JSON (tuples become lists, exactly as in the fixture;
+    # float64 repr round-trips losslessly so no precision is shed)
+    return json.loads(_render(trajectory_payload(history)))
+
+
+@pytest.mark.parametrize("name", sorted(golden_configs()))
+def test_golden_trajectory(name, update_golden):
+    config = golden_configs()[name]
+    payload = _run_scenario(config)
+    path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    if update_golden:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(_render(payload))
+        return
+    assert os.path.exists(path), (
+        f"missing golden fixture {path}; generate it with "
+        "`python -m pytest tests/federated/test_golden_trajectories.py --update-golden`"
+    )
+    with open(path) as handle:
+        expected = json.load(handle)
+    _assert_close(expected, payload, path=name)
+
+
+def test_no_stale_golden_fixtures():
+    """Every committed fixture corresponds to a scenario in the grid."""
+    committed = {name[: -len(".json")] for name in os.listdir(GOLDEN_DIR) if name.endswith(".json")}
+    assert committed == set(golden_configs())
+
+
+def test_update_golden_is_noop_on_unchanged_tree():
+    """The documented regeneration command rewrites byte-identical files."""
+    name = "nonprivate_iid"
+    payload = _run_scenario(golden_configs()[name])
+    with open(os.path.join(GOLDEN_DIR, f"{name}.json")) as handle:
+        committed = handle.read()
+    assert _render(payload) == committed
+
+
+def test_flaky_fixture_exercises_availability():
+    """The flaky-network cell must genuinely contain dropout/straggler events."""
+    with open(os.path.join(GOLDEN_DIR, "fed_cdp_dirichlet_flaky.json")) as handle:
+        payload = json.load(handle)
+    dropped = sum(len(r["dropped_clients"]) for r in payload["rounds"])
+    stragglers = sum(len(r["straggler_clients"]) for r in payload["rounds"])
+    assert dropped + stragglers > 0
