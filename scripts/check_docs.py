@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Validate the fenced code snippets in README.md and docs/*.md.
+
+Documentation rots silently: a renamed CLI flag, a moved example file or a
+deleted symbol leaves the prose looking plausible while every command in it
+fails.  This checker extracts the fenced ``bash`` / ``console`` / ``python``
+snippets from the docs and validates them against the actual code:
+
+* ``python -m repro ...`` commands — the subcommand must exist and every
+  ``--flag`` must be accepted by that subcommand's argparse parser
+  (introspected from :func:`repro.cli.build_parser`, so the check can never
+  drift from the real CLI);
+* repo-relative paths referenced by commands (``examples/...``,
+  ``benchmarks/...``, ``tests/...``, ``docs/...``, ``src/...``) must exist;
+* ``python`` snippets must be syntactically valid, and their top-level
+  ``import repro...`` / ``from repro... import ...`` statements must resolve
+  against the installed package.
+
+Run it from the repository root (CI does, in the ``docs`` job)::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Exit status is non-zero when any snippet is broken; every finding is
+reported as ``file:line: message``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import importlib
+import os
+import re
+import shlex
+import sys
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: languages whose fenced blocks are validated (anything else is ignored)
+SHELL_LANGUAGES = ("bash", "sh", "console", "shell")
+
+#: top-level directories whose mention in a command must point at a real path
+_CHECKED_PATH_PREFIXES = ("src/", "tests/", "benchmarks/", "examples/", "docs/", "scripts/")
+
+
+@dataclass
+class Snippet:
+    path: str
+    line: int  # 1-indexed line of the opening fence
+    language: str
+    text: str
+
+
+def iter_snippets(path: str) -> Iterator[Snippet]:
+    """Yield every fenced code block of ``path`` with its language tag."""
+    language = None
+    buffer: List[str] = []
+    start = 0
+    with open(path, encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            # an opening fence may carry an info string (```python title="x");
+            # inside a block, any ``` line closes it
+            fence = re.match(r"^\s*```(\S*)", line)
+            if fence is None:
+                if language is not None:
+                    buffer.append(line)
+                continue
+            if language is None:
+                language = re.match(r"\w*", fence.group(1)).group(0).lower()
+                buffer = []
+                start = number
+            else:
+                yield Snippet(path=path, line=start, language=language, text="\n".join(buffer))
+                language = None
+
+
+def shell_commands(snippet: Snippet) -> Iterator[Tuple[int, str]]:
+    """Extract ``(line, command)`` pairs from a bash/console snippet.
+
+    ``console`` blocks treat ``$ ``-prefixed lines as commands and everything
+    else as output; ``bash`` blocks treat every non-comment line as part of a
+    command.  Trailing-backslash continuations are joined either way.
+    """
+    lines = snippet.text.split("\n")
+    pending = ""
+    pending_line = 0
+    for offset, line in enumerate(lines):
+        number = snippet.line + 1 + offset
+        stripped = line.strip()
+        if pending:
+            pending += " " + stripped.rstrip("\\").strip()
+            if not stripped.endswith("\\"):
+                yield pending_line, pending
+                pending = ""
+            continue
+        if snippet.language == "console":
+            if not stripped.startswith("$ "):
+                continue  # command output
+            stripped = stripped[2:].strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.endswith("\\"):
+            pending = stripped.rstrip("\\").strip()
+            pending_line = number
+        else:
+            yield number, stripped
+
+
+def _cli_surface():
+    """``{subcommand: set(option strings)}`` introspected from the live parser."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers_action = next(
+        action for action in parser._actions if isinstance(action, argparse._SubParsersAction)
+    )
+    return {
+        name: set(subparser._option_string_actions)
+        for name, subparser in subparsers_action.choices.items()
+    }
+
+
+def check_repro_command(tokens: List[str], surface) -> List[str]:
+    """Validate one ``python -m repro ...`` invocation against the parser."""
+    errors: List[str] = []
+    try:
+        module_index = tokens.index("-m")
+    except ValueError:
+        return errors
+    rest = tokens[module_index + 2 :]  # tokens after "-m repro"
+    if not rest:
+        return ["`python -m repro` without a subcommand"]
+    subcommand = rest[0]
+    if subcommand not in surface:
+        return [f"unknown `python -m repro` subcommand {subcommand!r} "
+                f"(available: {sorted(surface)})"]
+    for token in rest[1:]:
+        if not token.startswith("--"):
+            continue
+        flag = token.split("=", 1)[0]
+        if flag not in surface[subcommand]:
+            errors.append(
+                f"`python -m repro {subcommand}` does not accept {flag!r} "
+                f"(run `python -m repro {subcommand} --help`)"
+            )
+    return errors
+
+
+def check_paths(tokens: List[str]) -> List[str]:
+    """Every token that names a checked repo path must exist on disk."""
+    errors: List[str] = []
+    for token in tokens:
+        candidate = token.split("=", 1)[-1].strip("'\"")
+        if not candidate.startswith(_CHECKED_PATH_PREFIXES):
+            continue
+        if any(wildcard in candidate for wildcard in "*?[<"):
+            continue  # globs / placeholders
+        if not os.path.exists(os.path.join(REPO_ROOT, candidate)):
+            errors.append(f"referenced path {candidate!r} does not exist")
+    return errors
+
+
+def check_shell_snippet(snippet: Snippet, surface) -> List[str]:
+    errors: List[str] = []
+    for line, command in shell_commands(snippet):
+        try:
+            tokens = shlex.split(command)
+        except ValueError as error:
+            errors.append(f"{snippet.path}:{line}: unparseable command ({error})")
+            continue
+        # drop leading environment assignments (PYTHONPATH=src python ...)
+        while tokens and re.match(r"^[A-Za-z_][A-Za-z0-9_]*=", tokens[0]):
+            tokens = tokens[1:]
+        if not tokens:
+            continue
+        findings: List[str] = []
+        if tokens[0].startswith("python") and "repro" in tokens[:3]:
+            findings += check_repro_command(tokens, surface)
+        findings += check_paths(tokens)
+        errors.extend(f"{snippet.path}:{line}: {finding}" for finding in findings)
+    return errors
+
+
+def check_python_snippet(snippet: Snippet) -> List[str]:
+    location = f"{snippet.path}:{snippet.line}"
+    try:
+        tree = ast.parse(snippet.text)
+    except SyntaxError as error:
+        return [f"{location}: python snippet does not parse ({error.msg}, line {error.lineno})"]
+    errors: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            try:
+                module = importlib.import_module(node.module)
+            except ImportError as error:
+                errors.append(f"{location}: `from {node.module} import ...` fails ({error})")
+                continue
+            for alias in node.names:
+                if alias.name != "*" and not hasattr(module, alias.name):
+                    errors.append(
+                        f"{location}: `{node.module}` has no attribute {alias.name!r}"
+                    )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    try:
+                        importlib.import_module(alias.name)
+                    except ImportError as error:
+                        errors.append(f"{location}: `import {alias.name}` fails ({error})")
+    return errors
+
+
+def documentation_files() -> List[str]:
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    pages = [
+        os.path.join("docs", name) for name in sorted(os.listdir(docs_dir)) if name.endswith(".md")
+    ]
+    return ["README.md"] + pages
+
+
+def check_files(paths: List[str]) -> List[str]:
+    surface = _cli_surface()
+    errors: List[str] = []
+    for relative in paths:
+        for snippet in iter_snippets(os.path.join(REPO_ROOT, relative)):
+            if snippet.language in SHELL_LANGUAGES:
+                errors.extend(check_shell_snippet(snippet, surface))
+            elif snippet.language == "python":
+                errors.extend(check_python_snippet(snippet))
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*",
+        help="markdown files to check, relative to the repo root (default: README + docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    files = args.files or documentation_files()
+    errors = check_files(files)
+    for error in errors:
+        print(f"[check-docs] ERROR {error}")
+    checked = ", ".join(files)
+    if errors:
+        print(f"[check-docs] {len(errors)} broken snippet reference(s) in: {checked}")
+        return 1
+    print(f"[check-docs] all snippets OK in: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,8 @@ The package implements, from scratch on top of numpy/scipy:
 * ``repro.autodiff`` — reverse-mode autodiff with higher-order gradients;
 * ``repro.nn``       — neural network layers, losses and optimizers;
 * ``repro.data``     — synthetic stand-ins for the paper's five benchmark datasets;
-* ``repro.privacy``  — Gaussian mechanism, clipping policies and the moments accountant;
+* ``repro.privacy``  — Gaussian mechanism, clipping policies and the pluggable
+  privacy accountants (equal-shard moments + heterogeneity-aware per-client ledger);
 * ``repro.federated``— the federated-learning simulation framework;
 * ``repro.core``     — the paper's contribution: Fed-CDP, Fed-CDP(decay), Fed-SDP and baselines;
 * ``repro.attacks``  — type-0/1/2 gradient-leakage (reconstruction) attacks;

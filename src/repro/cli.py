@@ -27,6 +27,7 @@ Examples::
     python -m repro run --config experiment.yaml --workers 4 --executor multiprocessing
     python -m repro run --profile quick --checkpoint ck.json --rounds 8 --resume
     python -m repro run --partition dirichlet --dirichlet-alpha 0.1 --dropout 0.3
+    python -m repro run --partition quantity_skew --accountant heterogeneous --epsilon-budget 1.0
     python -m repro tables 1 6
     python -m repro figures 3
     python -m repro scenarios --methods nonprivate fed_cdp --dataset mnist
@@ -41,9 +42,17 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+import dataclasses
+
 from repro.data.partition import PARTITION_STRATEGIES
 from repro.experiments.harness import SCALE_PROFILES, make_config
-from repro.federated.config import CLIENT_SAMPLING_SCHEMES, EXECUTORS, METHODS, FederatedConfig
+from repro.federated.config import (
+    ACCOUNTANT_NAMES,
+    CLIENT_SAMPLING_SCHEMES,
+    EXECUTORS,
+    METHODS,
+    FederatedConfig,
+)
 from repro.federated.simulation import FederatedSimulation
 
 __all__ = ["main", "build_parser", "load_config_file", "run_experiment"]
@@ -129,6 +138,8 @@ def _config_from_args(args: argparse.Namespace) -> tuple:
         "client_sampling": args.client_sampling,
         "dropout_rate": args.dropout,
         "straggler_deadline": args.straggler_deadline,
+        "accountant": args.accountant,
+        "epsilon_budget": args.epsilon_budget,
     }
     overrides.update({key: value for key, value in flag_overrides.items() if value is not None})
     explicit = dict(overrides)
@@ -188,6 +199,14 @@ def run_experiment(
 #: config fields the user may legitimately change when resuming a checkpoint
 _RESUME_MUTABLE_FIELDS = ("rounds", "executor", "num_workers")
 
+#: default value of every FederatedConfig field — used to compare explicit
+#: flags against checkpoints whose config omits fields still at their default
+#: (FederatedConfig.to_dict drops such fields for format compatibility)
+_CONFIG_FIELD_DEFAULTS = {
+    config_field.name: config_field.default
+    for config_field in dataclasses.fields(FederatedConfig)
+}
+
 
 def _reject_resume_conflicts(explicit: dict, checkpoint_path: str) -> None:
     """On --resume the checkpoint pins the numerics; fail loudly on conflicts.
@@ -204,9 +223,11 @@ def _reject_resume_conflicts(explicit: dict, checkpoint_path: str) -> None:
     with open(checkpoint_path) as handle:
         checkpoint_config = json.load(handle)["config"]
     conflicts = [
-        f"{field} (checkpoint: {checkpoint_config[field]!r}, requested: {value!r})"
+        f"{field} (checkpoint: {checkpoint_config.get(field, _CONFIG_FIELD_DEFAULTS.get(field))!r}, "
+        f"requested: {value!r})"
         for field, value in sorted(explicit.items())
-        if field not in _RESUME_MUTABLE_FIELDS and checkpoint_config.get(field) != value
+        if field not in _RESUME_MUTABLE_FIELDS
+        and checkpoint_config.get(field, _CONFIG_FIELD_DEFAULTS.get(field)) != value
     ]
     if conflicts:
         raise SystemExit(
@@ -237,11 +258,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"executor={config.executor}, workers={workers}): "
         f"{simulation.completed_rounds} rounds in {elapsed:.2f}s wall-clock"
     )
+    if history.budget_stop_round is not None:
+        print(
+            f"[repro] epsilon budget {config.epsilon_budget} reached: stopped before "
+            f"round {history.budget_stop_round + 1} "
+            f"(spent epsilon={history.final_epsilon:.4f})"
+        )
     print(
         f"[repro] final accuracy={history.final_accuracy:.4f} "
         f"epsilon={history.final_epsilon:.4f} "
         f"mean cost={history.mean_time_per_iteration_ms:.2f} ms/iteration"
     )
+    if config.accountant == "heterogeneous":
+        equal_shard = simulation.accountant.equal_shard_epsilon(config.delta)
+        print(
+            f"[repro] heterogeneous accounting: worst-case epsilon="
+            f"{history.final_epsilon:.4f} vs equal-shard epsilon={equal_shard:.4f}"
+        )
     if args.output:
         payload = history.to_dict()
         payload["wall_clock_seconds"] = elapsed
@@ -364,6 +397,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--eval-every", type=int, help="evaluate every this many rounds")
     run.add_argument("--noise-scale", type=float, help="DP noise multiplier sigma")
     run.add_argument("--clipping-bound", type=float, help="DP clipping bound C")
+    run.add_argument(
+        "--accountant",
+        choices=ACCOUNTANT_NAMES,
+        help="privacy accountant: 'moments' (the paper's equal-shard model, default) or "
+        "'heterogeneous' (per-client RDP ledger over the realised partition)",
+    )
+    run.add_argument(
+        "--epsilon-budget",
+        type=float,
+        help="stop before the first round whose release would exceed this epsilon",
+    )
     run.add_argument(
         "--partition",
         choices=PARTITION_STRATEGIES,

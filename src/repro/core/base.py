@@ -41,6 +41,7 @@ from repro.nn.perexample import (
 )
 from repro.privacy.accountant import MomentsAccountant
 from repro.privacy.clipping import global_l2_norm
+from repro.privacy.ledger import RoundCharge
 
 __all__ = ["LocalUpdate", "LocalTrainerBase"]
 
@@ -240,9 +241,38 @@ class LocalTrainerBase:
     # ------------------------------------------------------------------
     # Privacy accounting
     # ------------------------------------------------------------------
+    def round_privacy_charge(self, round_index: int) -> Optional[RoundCharge]:
+        """Declarative description of what one round of this method releases.
+
+        ``None`` (the default) marks a method with no DP guarantee; private
+        methods return a :class:`~repro.privacy.ledger.RoundCharge` that any
+        registered accountant (``moments``, ``heterogeneous``) knows how to
+        interpret against its own sampling model.
+        """
+        del round_index
+        return None
+
     def accumulate_privacy(self, accountant: MomentsAccountant, round_index: int) -> None:
-        """Record this round's privacy spending (no-op for non-private methods)."""
-        del accountant, round_index
+        """Record one round's spending on a standalone moments accountant.
+
+        Convenience wrapper over :meth:`round_privacy_charge` using the
+        config's equal-shard rates — the paper's accounting model.  The
+        simulation itself goes through ``accountant.charge_round`` so that
+        participant-aware accountants see the realised cohort.
+        """
+        charge = self.round_privacy_charge(round_index)
+        if charge is None:
+            return
+        rate = (
+            self.config.instance_sampling_rate
+            if charge.level == "instance"
+            else self.config.client_sampling_rate
+        )
+        accountant.accumulate(
+            sampling_rate=rate,
+            noise_multiplier=charge.noise_multiplier,
+            steps=charge.steps,
+        )
 
     def supports_instance_level_privacy(self) -> bool:
         """Whether the method provides a per-example (instance-level) DP guarantee."""

@@ -19,7 +19,6 @@ import numpy as np
 from repro.federated.config import FederatedConfig
 from repro.nn import Sequential
 from repro.nn.perexample import stack_to_example_lists
-from repro.privacy.accountant import MomentsAccountant
 from repro.privacy.clipping import (
     ClippingPolicy,
     ConstantClipping,
@@ -27,6 +26,7 @@ from repro.privacy.clipping import (
     clip_per_example_stack,
     per_example_global_norms,
 )
+from repro.privacy.ledger import RoundCharge
 from repro.privacy.mechanisms import GaussianMechanism
 
 from .base import LocalTrainerBase
@@ -141,12 +141,15 @@ class FedCDPTrainer(LocalTrainerBase):
         return self.sanitize_per_example_gradient(per_example[0], round_index, rng)
 
     # ------------------------------------------------------------------
-    # Privacy accounting: L subsampled-Gaussian invocations per round with
-    # the instance-level sampling rate q = B * Kt / N (Section V).
+    # Privacy accounting: L subsampled-Gaussian invocations per round at the
+    # instance level.  The default moments accountant charges them at the
+    # equal-shard rate q = B * Kt / N (Section V); the heterogeneous ledger
+    # charges each participating client at its realised q_k = B / n_k.
     # ------------------------------------------------------------------
-    def accumulate_privacy(self, accountant: MomentsAccountant, round_index: int) -> None:
-        accountant.accumulate(
-            sampling_rate=self.config.instance_sampling_rate,
+    def round_privacy_charge(self, round_index: int) -> RoundCharge:
+        del round_index
+        return RoundCharge(
+            level="instance",
             noise_multiplier=max(self.config.noise_scale, 1e-12),
             steps=self.config.effective_local_iterations,
         )

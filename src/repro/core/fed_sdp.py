@@ -17,8 +17,8 @@ import numpy as np
 
 from repro.federated.config import FederatedConfig
 from repro.nn import Sequential
-from repro.privacy.accountant import MomentsAccountant
 from repro.privacy.clipping import ConstantClipping, clip_gradients_per_layer
+from repro.privacy.ledger import RoundCharge
 from repro.privacy.mechanisms import GaussianMechanism
 
 from .base import LocalTrainerBase
@@ -79,12 +79,15 @@ class FedSDPTrainer(LocalTrainerBase):
         return self.sanitize_update(delta, round_index, rng), metadata
 
     # ------------------------------------------------------------------
-    # Privacy accounting: one subsampled-Gaussian invocation per round with
-    # the client-level sampling rate q2 = Kt / K.
+    # Privacy accounting: one client-level subsampled-Gaussian invocation per
+    # round.  The moments accountant charges it at the sampling rate
+    # q2 = Kt / K; the heterogeneous ledger records a plain Gaussian release
+    # (q = 1) for each client that actually participated.
     # ------------------------------------------------------------------
-    def accumulate_privacy(self, accountant: MomentsAccountant, round_index: int) -> None:
-        accountant.accumulate(
-            sampling_rate=self.config.client_sampling_rate,
+    def round_privacy_charge(self, round_index: int) -> RoundCharge:
+        del round_index
+        return RoundCharge(
+            level="client",
             noise_multiplier=max(self.config.noise_scale, 1e-12),
             steps=1,
         )

@@ -15,12 +15,24 @@ from typing import Mapping, Optional, Tuple
 
 from repro.data.partition import PARTITION_STRATEGIES
 from repro.data.registry import DatasetSpec, get_dataset_spec
+from repro.privacy.ledger import ACCOUNTANT_NAMES
 
-__all__ = ["FederatedConfig", "METHODS", "EXECUTORS", "CLIENT_SAMPLING_SCHEMES"]
+__all__ = [
+    "FederatedConfig",
+    "METHODS",
+    "PRIVATE_METHODS",
+    "EXECUTORS",
+    "CLIENT_SAMPLING_SCHEMES",
+    "ACCOUNTANT_NAMES",
+]
 
 
 #: Training methods understood by the trainer factory.
 METHODS: Tuple[str, ...] = ("nonprivate", "fed_sdp", "fed_cdp", "fed_cdp_decay", "dssgd")
+
+#: The subset of :data:`METHODS` that carries a differential-privacy guarantee
+#: (and therefore drives the accountant and the epsilon budget).
+PRIVATE_METHODS: Tuple[str, ...] = ("fed_sdp", "fed_cdp", "fed_cdp_decay")
 
 #: Client-execution backends understood by :func:`repro.federated.executor.make_executor`.
 EXECUTORS: Tuple[str, ...] = ("serial", "multiprocessing")
@@ -97,6 +109,14 @@ class FederatedConfig:
     decay_clipping: Tuple[float, float] = (6.0, 2.0)
     #: whether Fed-SDP sanitises at the server (True) or at each client (False)
     sdp_server_side: bool = False
+    #: privacy accountant, one of :data:`ACCOUNTANT_NAMES`: ``moments`` (the
+    #: paper's equal-shard model) or ``heterogeneous`` (per-client RDP ledger
+    #: over the realised partition — see docs/privacy_accounting.md)
+    accountant: str = "moments"
+    #: stop training before the first round whose release would push the
+    #: accountant's epsilon past this budget (``None`` disables; private
+    #: methods only)
+    epsilon_budget: Optional[float] = None
 
     # ----- baselines / extensions --------------------------------------
     #: fraction of parameters shared by the DSSGD baseline
@@ -162,6 +182,12 @@ class FederatedConfig:
             raise ValueError("dropout_rate must lie in [0, 1]")
         if self.straggler_deadline is not None and self.straggler_deadline <= 0:
             raise ValueError("straggler_deadline must be positive (or None to disable)")
+        if self.accountant not in ACCOUNTANT_NAMES:
+            raise ValueError(
+                f"unknown accountant {self.accountant!r}; expected one of {ACCOUNTANT_NAMES}"
+            )
+        if self.epsilon_budget is not None and self.epsilon_budget <= 0:
+            raise ValueError("epsilon_budget must be positive (or None to disable)")
         if self.executor not in EXECUTORS:
             raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
         if self.num_workers is not None and self.num_workers < 1:
@@ -226,8 +252,20 @@ class FederatedConfig:
     # Serialization (checkpoints, the CLI's YAML/JSON config files)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-JSON-serialisable dictionary of every config field."""
-        return asdict(self)
+        """Plain-JSON-serialisable dictionary of the config.
+
+        Fields added after the checkpoint format stabilised (``accountant``,
+        ``epsilon_budget``) are omitted while at their defaults, so default
+        runs keep emitting byte-identical checkpoints and golden fixtures,
+        and checkpoints written before those fields existed still satisfy
+        :meth:`from_dict` round-trip equality.
+        """
+        payload = asdict(self)
+        if payload["accountant"] == "moments":
+            del payload["accountant"]
+        if payload["epsilon_budget"] is None:
+            del payload["epsilon_budget"]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "FederatedConfig":

@@ -31,7 +31,11 @@ class RoundResult:
     #: free-form per-round metadata (clipping bound in effect, etc.)
     metadata: Dict[str, float] = field(default_factory=dict)
     #: clients whose updates were aggregated (== selected when no availability
-    #: dynamics are configured); an empty list marks a skipped round
+    #: dynamics are configured); an empty list marks a skipped round.  This is
+    #: the authoritative release record for privacy accounting: the
+    #: simulation charges the accountant from it (participant-aware
+    #: accountants like ``heterogeneous`` charge exactly these clients, and a
+    #: skipped round — empty list — is never charged at all)
     participating_clients: List[int] = field(default_factory=list)
     #: selected clients that dropped out before reporting
     dropped_clients: List[int] = field(default_factory=list)
@@ -131,7 +135,9 @@ class FederatedServer:
         does).  When *no* client participates (all dropped, or an empty
         Poisson draw) the round is skipped deterministically: the global
         weights are left untouched and an empty :class:`RoundResult` is
-        recorded.
+        recorded — downstream, the privacy accountant reads the empty
+        ``participating_clients`` as "nothing released" and charges no
+        epsilon for the round.
         """
         selected = self.select_clients(len(clients), clients_per_round, rng)
         if availability is not None:

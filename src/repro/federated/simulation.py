@@ -29,11 +29,11 @@ import numpy as np
 from repro.data.partition import partition_dataset
 from repro.data.synthetic import generate_train_val
 from repro.nn import build_model_for_dataset, evaluate_accuracy
-from repro.privacy.accountant import MomentsAccountant
+from repro.privacy.ledger import AccountingContext, make_accountant
 
 from .availability import AvailabilityModel
 from .client import FederatedClient
-from .config import FederatedConfig
+from .config import PRIVATE_METHODS, FederatedConfig
 from .executor import make_executor, spawn_client_seeds
 from .server import FederatedServer, RoundResult
 
@@ -53,8 +53,13 @@ class SimulationHistory:
     accuracy_by_round: Dict[int, float] = field(default_factory=dict)
     #: per-round summaries from the server
     rounds: List[RoundResult] = field(default_factory=list)
-    #: privacy spending epsilon after each round (empty for non-private runs)
+    #: privacy spending epsilon after each round (empty for non-private runs);
+    #: under the ``heterogeneous`` accountant this is the worst-case
+    #: per-client epsilon (see docs/privacy_accounting.md)
     epsilon_by_round: Dict[int, float] = field(default_factory=dict)
+    #: round the epsilon budget stopped the run *before* (``None`` when no
+    #: budget was configured or the horizon was reached first)
+    budget_stop_round: Optional[int] = None
 
     @property
     def final_accuracy(self) -> float:
@@ -123,7 +128,7 @@ class SimulationHistory:
             payload = asdict(result)
             payload["mean_loss"] = de_nan(payload["mean_loss"])
             rounds.append(payload)
-        return {
+        payload = {
             "config": self.config.to_dict(),
             "accuracy_by_round": {str(k): v for k, v in self.accuracy_by_round.items()},
             "epsilon_by_round": {str(k): v for k, v in self.epsilon_by_round.items()},
@@ -132,6 +137,10 @@ class SimulationHistory:
             "final_epsilon": self.final_epsilon,
             "mean_time_per_iteration_ms": self.mean_time_per_iteration_ms,
         }
+        # omitted unless set, keeping pre-budget payloads byte-identical
+        if self.budget_stop_round is not None:
+            payload["budget_stop_round"] = self.budget_stop_round
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict, config: Optional[FederatedConfig] = None) -> "SimulationHistory":
@@ -151,6 +160,7 @@ class SimulationHistory:
             accuracy_by_round={int(k): float(v) for k, v in payload["accuracy_by_round"].items()},
             epsilon_by_round={int(k): float(v) for k, v in payload["epsilon_by_round"].items()},
             rounds=rounds,
+            budget_stop_round=payload.get("budget_stop_round"),
         )
 
 
@@ -220,7 +230,15 @@ class FederatedSimulation:
             client_sampling=config.client_sampling,
         )
         self.availability = AvailabilityModel.from_config(config)
-        self.accountant = MomentsAccountant()
+        # the accountant is resolved through the registry and bound to the
+        # *realised* partition, so shard-size-aware accountants see the true
+        # per-client rates (docs/privacy_accounting.md)
+        self.accountant = make_accountant(
+            config.accountant,
+            context=AccountingContext.from_config(
+                config, [len(shard) for shard in self.shards]
+            ),
+        )
         self.history = SimulationHistory(config=config)
         self._completed_rounds = 0
 
@@ -254,7 +272,7 @@ class FederatedSimulation:
             raise ValueError("checkpoint_every must be positive")
         total_rounds = rounds if rounds is not None else self.config.rounds
         history = self.history
-        is_private = self.config.method in ("fed_sdp", "fed_cdp", "fed_cdp_decay")
+        is_private = self.config.method in PRIVATE_METHODS
         # Poisson sampling may select any subset of the population, so spawn a
         # seed stream per possible slot; spawned children depend only on their
         # index, so over-spawning never changes the streams that are used.
@@ -263,7 +281,14 @@ class FederatedSimulation:
             if self.config.client_sampling == "poisson"
             else self.config.clients_per_round
         )
+        budget = self.config.epsilon_budget if is_private else None
         for round_index in range(self._completed_rounds, total_rounds):
+            if budget is not None and self._round_would_exceed_budget(round_index, budget):
+                # stop *before* the release that would blow the budget; the
+                # projection depends only on accountant state, so a resumed
+                # run reaches the identical stopping decision
+                history.budget_stop_round = round_index
+                break
             client_seeds = spawn_client_seeds(self.config.seed, round_index, seed_slots)
             result = self.server.run_round(
                 self.clients,
@@ -279,7 +304,9 @@ class FederatedSimulation:
                 # a skipped round releases nothing, so it costs no privacy;
                 # epsilon is still recorded (flat) to keep the series per-round
                 if not result.skipped:
-                    self.trainer.accumulate_privacy(self.accountant, round_index)
+                    charge = self.trainer.round_privacy_charge(round_index)
+                    if charge is not None:
+                        self.accountant.charge_round(charge, result.participating_clients)
                 history.epsilon_by_round[round_index] = self.accountant.get_epsilon(self.config.delta)
             # forced final evaluation happens at the end of the *experiment*
             # (not at the interruption point of a partial run(rounds=N) call,
@@ -298,7 +325,28 @@ class FederatedSimulation:
                 (round_index + 1) % checkpoint_every == 0 or round_index == total_rounds - 1
             ):
                 self.save_checkpoint(checkpoint_path)
+        if history.budget_stop_round is not None:
+            # the run ended early: evaluate the released model once (the stop
+            # round is off the eval_every grid in general) and persist the
+            # stopping decision into the checkpoint
+            last = self._completed_rounds - 1
+            if last >= 0 and last not in history.accuracy_by_round:
+                history.accuracy_by_round[last] = self.evaluate()
+            if verbose:  # pragma: no cover - console convenience
+                print(
+                    f"[{self.config.method}] epsilon budget {self.config.epsilon_budget} "
+                    f"reached: stopped before round {history.budget_stop_round + 1}"
+                )
+            if checkpoint_path is not None:
+                self.save_checkpoint(checkpoint_path)
         return history
+
+    def _round_would_exceed_budget(self, round_index: int, budget: float) -> bool:
+        """Would charging one more (fully participating) round exceed the budget?"""
+        charge = self.trainer.round_privacy_charge(round_index)
+        if charge is None:
+            return False
+        return self.accountant.projected_epsilon(charge, self.config.delta) > budget
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -23,6 +23,14 @@ from .clipping import (
     per_example_layer_norms,
 )
 from .composition import advanced_composition, amplify_by_subsampling, basic_composition
+from .ledger import (
+    ACCOUNTANT_NAMES,
+    ACCOUNTANTS,
+    AccountingContext,
+    HeterogeneousAccountant,
+    RoundCharge,
+    make_accountant,
+)
 from .mechanisms import GaussianMechanism, calibrate_sigma, epsilon_for_sigma
 
 __all__ = [
@@ -42,6 +50,12 @@ __all__ = [
     "l2_norm",
     "global_l2_norm",
     "MomentsAccountant",
+    "HeterogeneousAccountant",
+    "AccountingContext",
+    "RoundCharge",
+    "ACCOUNTANTS",
+    "ACCOUNTANT_NAMES",
+    "make_accountant",
     "compute_dp_sgd_epsilon",
     "compute_rdp_subsampled_gaussian",
     "rdp_to_epsilon",

@@ -178,12 +178,25 @@ class MomentsAccountant:
     The accountant also enforces the paper's validity condition for the
     moments-accountant bound, ``q < 1 / (16 sigma)``, emitting the check via
     :meth:`check_sampling_condition`.
+
+    As the default entry of the accountant registry
+    (:data:`repro.privacy.ledger.ACCOUNTANTS`) it additionally implements the
+    pluggable round-charging interface: :meth:`bind_context` attaches the
+    equal-shard sampling rates of a run, after which :meth:`charge_round`
+    accepts a declarative :class:`~repro.privacy.ledger.RoundCharge` (the
+    participant list is ignored — this is the paper's equal-shard model,
+    which charges the full population rate whenever anything was released).
     """
+
+    name = "moments"
 
     def __init__(self, orders: Sequence[float] = DEFAULT_RDP_ORDERS) -> None:
         self.orders = tuple(float(order) for order in orders)
         self._rdp = np.zeros(len(self.orders), dtype=np.float64)
         self._steps = 0
+        #: equal-shard rates of the bound run (an ``AccountingContext``); the
+        #: accountant stays usable standalone via :meth:`accumulate` without it
+        self._context = None
 
     @property
     def steps(self) -> int:
@@ -213,6 +226,47 @@ class MomentsAccountant:
         if self._steps == 0:
             return 0.0, float(self.orders[0])
         return rdp_to_epsilon(self.orders, self._rdp, delta)
+
+    # ------------------------------------------------------------------
+    # Pluggable-accountant interface (see repro.privacy.ledger)
+    # ------------------------------------------------------------------
+    def bind_context(self, context) -> None:
+        """Attach a run's :class:`~repro.privacy.ledger.AccountingContext`."""
+        self._context = context
+
+    def _rate_for_level(self, level: str) -> float:
+        if self._context is None:
+            raise RuntimeError(
+                "MomentsAccountant is unbound; call bind_context(...) before "
+                "charge_round (the simulation does this at construction)"
+            )
+        return self._context.rate_for_level(level)
+
+    def charge_round(self, charge, participants: Sequence[int]) -> None:
+        """Charge one round at the equal-shard rate for the charge's level.
+
+        ``participants`` is accepted for interface compatibility and ignored:
+        the paper's model charges the population-level rate whenever a round
+        released anything (the caller never charges skipped rounds).
+        """
+        del participants
+        self.accumulate(
+            sampling_rate=self._rate_for_level(charge.level),
+            noise_multiplier=charge.noise_multiplier,
+            steps=charge.steps,
+        )
+
+    def projected_epsilon(self, charge, delta: float) -> float:
+        """Epsilon *if* one more round like ``charge`` were accumulated.
+
+        Used for budget-driven early stopping: the release is withheld when
+        the projection exceeds the budget.
+        """
+        rdp = self._rdp + charge.steps * compute_rdp_subsampled_gaussian(
+            self._rate_for_level(charge.level), charge.noise_multiplier, self.orders
+        )
+        epsilon, _ = rdp_to_epsilon(self.orders, rdp, delta)
+        return epsilon
 
     @staticmethod
     def check_sampling_condition(sampling_rate: float, noise_multiplier: float) -> bool:

@@ -239,6 +239,61 @@ def test_resume_rejects_conflicting_scenario_flags(tmp_path):
         )
 
 
+def test_run_with_heterogeneous_accountant_and_budget(tmp_path, capsys):
+    checkpoint = str(tmp_path / "budget.ck.json")
+    args = _run_args(
+        tmp_path, "--rounds", "6", "--participation", "1.0",
+        "--partition", "quantity_skew",
+        "--accountant", "heterogeneous", "--epsilon-budget", "30",
+        "--checkpoint", checkpoint,
+    )
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "epsilon budget 30.0 reached" in out
+    assert "worst-case epsilon" in out and "equal-shard epsilon" in out
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["accountant"] == "heterogeneous"
+    assert payload["config"]["epsilon_budget"] == 30.0
+    assert payload["budget_stop_round"] == len(payload["rounds"])
+    assert len(payload["rounds"]) < 6
+    assert payload["final_epsilon"] <= 30.0
+
+    # resuming replays the identical stopping decision (no further rounds)
+    assert main([*args, "--resume"]) == 0
+    resumed = json.loads((tmp_path / "history.json").read_text())
+    assert resumed["rounds"] == payload["rounds"]
+    assert resumed["epsilon_by_round"] == payload["epsilon_by_round"]
+    assert resumed["budget_stop_round"] == payload["budget_stop_round"]
+
+
+def test_default_accountant_fields_omitted_from_serialized_config(tmp_path):
+    """Default runs keep the pre-subsystem config payload (checkpoint compat)."""
+    assert main(_run_args(tmp_path, "--rounds", "2")) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert "accountant" not in payload["config"]
+    assert "epsilon_budget" not in payload["config"]
+    assert "budget_stop_round" not in payload
+
+
+def test_resume_allows_explicit_default_accountant_flag(tmp_path):
+    """--accountant moments on resume of a default run is not a conflict."""
+    checkpoint = str(tmp_path / "ck.json")
+    assert main(_run_args(tmp_path, "--rounds", "2", "--checkpoint", checkpoint)) == 0
+    assert main(
+        _run_args(
+            tmp_path, "--rounds", "3", "--checkpoint", checkpoint, "--resume",
+            "--accountant", "moments",
+        )
+    ) == 0
+    with pytest.raises(SystemExit, match="accountant"):
+        main(
+            _run_args(
+                tmp_path, "--rounds", "4", "--checkpoint", checkpoint, "--resume",
+                "--accountant", "heterogeneous",
+            )
+        )
+
+
 def test_scenarios_subcommand(tmp_path, capsys):
     output = tmp_path / "scenarios.txt"
     assert main(

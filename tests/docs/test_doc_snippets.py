@@ -1,0 +1,120 @@
+"""Tier-1 coverage for the docs snippet checker (scripts/check_docs.py).
+
+The CI ``docs`` job runs the checker directly; these tests keep it honest
+locally too: the committed docs must pass, and intentionally broken snippets
+of every validated class (bad CLI flag, bad subcommand, missing path, broken
+import, syntax error) must fail.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+import textwrap
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _load_checker():
+    path = os.path.join(REPO_ROOT, "scripts", "check_docs.py")
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = module  # dataclasses resolve annotations via sys.modules
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+def test_committed_docs_pass():
+    assert checker.main([]) == 0
+
+
+def _write(tmp_path, body):
+    page = tmp_path / "page.md"
+    page.write_text(textwrap.dedent(body))
+    return str(page)
+
+
+def test_bogus_cli_flag_is_caught(tmp_path):
+    page = _write(
+        tmp_path,
+        """\
+        ```bash
+        PYTHONPATH=src python -m repro run --bogus-flag 3
+        ```
+        """,
+    )
+    errors = checker.check_files([page])
+    assert len(errors) == 1 and "--bogus-flag" in errors[0]
+    assert checker.main([page]) == 1
+
+
+def test_unknown_subcommand_and_missing_path_are_caught(tmp_path):
+    page = _write(
+        tmp_path,
+        """\
+        ```console
+        $ python -m repro lunch --profile quick
+        output lines are ignored
+        $ python benchmarks/no_such_bench.py
+        ```
+        """,
+    )
+    errors = checker.check_files([page])
+    assert any("lunch" in error for error in errors)
+    assert any("benchmarks/no_such_bench.py" in error for error in errors)
+
+
+def test_broken_python_snippets_are_caught(tmp_path):
+    page = _write(
+        tmp_path,
+        """\
+        ```python
+        from repro.privacy import NoSuchAccountant
+        ```
+
+        ```python
+        def broken(:
+            pass
+        ```
+        """,
+    )
+    errors = checker.check_files([page])
+    assert any("NoSuchAccountant" in error for error in errors)
+    assert any("does not parse" in error for error in errors)
+
+
+def test_fences_with_info_strings_are_still_validated(tmp_path):
+    page = _write(
+        tmp_path,
+        """\
+        ```bash title="broken example"
+        python -m repro run --bogus-flag
+        ```
+
+        prose between blocks must not be swallowed as snippet body
+
+        ```bash
+        python -m repro run --profile quick
+        ```
+        """,
+    )
+    errors = checker.check_files([page])
+    assert len(errors) == 1 and "--bogus-flag" in errors[0]
+
+
+def test_multiline_continuations_and_known_flags_pass(tmp_path):
+    page = _write(
+        tmp_path,
+        """\
+        ```bash
+        PYTHONPATH=src python -m repro run --partition quantity_skew \\
+            --accountant heterogeneous --epsilon-budget 1.0
+        PYTHONPATH=src python -m repro run --config examples/configs/scenario_dirichlet_dropout.yaml
+        ```
+        """,
+    )
+    assert checker.check_files([page]) == []

@@ -37,11 +37,39 @@ def test_matrix_runs_every_cell_and_formats():
     for cell in result.cells:
         assert 0.0 <= cell.final_accuracy <= 1.0
         assert cell.final_epsilon == 0.0  # nonprivate
+        assert cell.equal_shard_epsilon == 0.0
         assert result.histories[(cell.partition, cell.availability, cell.method)]
     rendered = result.formatted()
     assert "Scenario matrix" in rendered
     assert "dirichlet(0.1)" in rendered
     assert "dropout(0.3)" in rendered
+    assert "eps(worst-case)" in rendered
+    assert "eps(equal-shard)" in rendered
+
+
+def test_private_cells_report_both_epsilons_side_by_side():
+    result = run_scenario_matrix(
+        methods=("fed_cdp",),
+        partitions=["iid", "quantity-skew"],
+        availabilities=["reliable"],
+        dataset="cancer",
+        profile="quick",
+        seed=7,
+        rounds=2,
+        eval_every=2,
+        participation_fraction=1.0,
+    )
+    by_partition = {cell.partition: cell for cell in result.cells}
+    for cell in result.cells:
+        # private cells run under the heterogeneity-aware accountant
+        assert cell.config.accountant == "heterogeneous"
+        assert cell.final_epsilon > 0.0
+    # equal shards + full participation: the two figures coincide ...
+    iid = by_partition["iid"]
+    assert iid.final_epsilon == pytest.approx(iid.equal_shard_epsilon, abs=1e-9)
+    # ... while quantity skew makes the worst-case strictly larger
+    skew = by_partition["quantity-skew"]
+    assert skew.final_epsilon > skew.equal_shard_epsilon + 1e-6
 
 
 def test_dropout_cells_record_losses_and_reliable_cells_do_not():

@@ -48,6 +48,9 @@ def test_config_override_helpers():
         {"aggregation": "bogus"},
         {"eval_every": 0},
         {"dataset": "unknown-dataset"},
+        {"accountant": "bogus"},
+        {"epsilon_budget": 0.0},
+        {"epsilon_budget": -1.0},
     ],
 )
 def test_config_validation_rejects_bad_values(kwargs):
