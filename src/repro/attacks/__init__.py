@@ -1,6 +1,12 @@
-"""Gradient-leakage (reconstruction) attacks and the type-0/1/2 threat harness."""
+"""Gradient-leakage (reconstruction) attacks, the type-0/1/2 threat harness
+and the in-loop attack scheduler used by the federated simulation."""
 
 from .metrics import attack_success_rate, mean_attack_iterations, psnr, reconstruction_distance
+from .multistart import (
+    MultiRestartReconstruction,
+    MultiRestartResult,
+    supports_vectorized_restarts,
+)
 from .objectives import (
     OBJECTIVE_KINDS,
     build_matching_loss,
@@ -14,6 +20,7 @@ from .reconstruction import (
     GradientReconstructionAttack,
     infer_label_from_gradients,
 )
+from .schedule import ATTACK_DOMAIN, AttackSchedule, resolve_attack_rounds
 from .seeds import SEED_KINDS, constant_seed, make_seed, patterned_random_seed, uniform_random_seed
 from .threat import LEAKAGE_TYPES, GradientLeakageThreat, LeakageObservation
 
@@ -21,6 +28,12 @@ __all__ = [
     "AttackConfig",
     "AttackResult",
     "GradientReconstructionAttack",
+    "MultiRestartReconstruction",
+    "MultiRestartResult",
+    "supports_vectorized_restarts",
+    "AttackSchedule",
+    "ATTACK_DOMAIN",
+    "resolve_attack_rounds",
     "infer_label_from_gradients",
     "GradientLeakageThreat",
     "LeakageObservation",

@@ -38,9 +38,23 @@ def psnr(reconstruction: np.ndarray, ground_truth: np.ndarray, data_range: float
     return float(20.0 * np.log10(data_range / rmse))
 
 
+def _attribute(result, *names: str):
+    """First present attribute of ``result`` among ``names``.
+
+    The offline :class:`~repro.attacks.reconstruction.AttackResult` and the
+    in-loop :class:`~repro.federated.server.AttackRecord` use slightly
+    different field names (``succeeded``/``num_iterations`` vs
+    ``success``/``iterations``); the aggregate metrics accept both.
+    """
+    for name in names:
+        if hasattr(result, name):
+            return getattr(result, name)
+    raise AttributeError(f"attack result {result!r} has none of {names}")
+
+
 def attack_success_rate(results: Iterable) -> float:
     """Fraction of attack results flagged as successful."""
-    outcomes = [bool(result.succeeded) for result in results]
+    outcomes = [bool(_attribute(result, "succeeded", "success")) for result in results]
     if not outcomes:
         return 0.0
     return float(np.mean(outcomes))
@@ -48,7 +62,7 @@ def attack_success_rate(results: Iterable) -> float:
 
 def mean_attack_iterations(results: Iterable) -> float:
     """Average number of attack iterations across results (failed runs count at their cap)."""
-    iterations = [int(result.num_iterations) for result in results]
+    iterations = [int(_attribute(result, "num_iterations", "iterations")) for result in results]
     if not iterations:
         return 0.0
     return float(np.mean(iterations))

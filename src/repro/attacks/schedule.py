@@ -1,0 +1,202 @@
+"""In-loop attack scheduling: a deterministic adversary inside the simulation.
+
+The offline threat harness (:mod:`repro.attacks.threat`) attacks a model
+snapshot in isolation; this module puts the adversary *inside*
+:class:`~repro.federated.simulation.FederatedSimulation`.  An
+:class:`AttackSchedule` — declared on the
+:class:`~repro.federated.config.FederatedConfig` via the ``attack*`` fields —
+designates the rounds and clients to strike.  At each attacked round the
+adversary intercepts a participating client's round share and runs the
+batched multi-restart reconstruction of :mod:`repro.attacks.multistart`
+against it, producing one :class:`~repro.federated.server.AttackRecord` per
+attacked client that rides on the round's ``RoundResult`` into the history,
+the checkpoints and the golden-trajectory fixtures.
+
+Threat model
+------------
+Following the paper's Figure-1 setup (and the harness's type-0 observation),
+the leaked quantity at round ``t`` is the client's *sanitised* gradient at
+the broadcast global weights ``W(t)`` over one private probe example drawn
+from its realised shard: exact for the non-private baseline, per-update
+noised for Fed-SDP, per-example clipped-and-noised for Fed-CDP.  The attack
+is purely observational — it never mutates server state, trainer state or
+the simulation's main RNG, so an attacked run's training trajectory is
+bit-identical to the same run without the adversary (regression-tested).
+
+Determinism
+-----------
+Every draw the adversary consumes (probe-example choice, the observation's
+sanitisation noise, each restart's dummy seed) comes from
+:func:`repro.federated.executor.domain_seed_sequence` under the dedicated
+:data:`ATTACK_DOMAIN` tag, keyed on ``(config seed, domain, round, client)``
+— plus the restart index for dummy seeds.  The streams are therefore
+independent of the execution backend (serial ≡ multiprocessing bit-
+identically), of scheduling, and of how many rounds ran before (exact
+checkpoint resume mid-schedule).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.federated.config import ATTACK_KINDS, FederatedConfig
+from repro.federated.executor import domain_seed_sequence
+from repro.federated.server import AttackRecord
+
+from .multistart import MultiRestartReconstruction
+from .reconstruction import AttackConfig
+from .threat import GradientLeakageThreat
+
+__all__ = ["ATTACK_DOMAIN", "AttackSchedule", "resolve_attack_rounds"]
+
+
+#: Domain-separation tag for all in-loop attack RNG streams (distinct from
+#: the client-training and availability domains — see
+#: :mod:`repro.federated.executor`).
+ATTACK_DOMAIN = 0x0A77AC4
+
+
+def _every_step(spec: str) -> int:
+    """The stride of a normalised ``"every_k"`` spec (the single owner of
+    that grammar on the consuming side; validation lives in
+    :func:`repro.federated.config.normalize_attack_rounds`)."""
+    return int(spec.split("_", 1)[1])
+
+
+def resolve_attack_rounds(
+    spec: Optional[object], total_rounds: int
+) -> Tuple[int, ...]:
+    """Concrete attacked round indices under a normalised ``attack_rounds`` spec.
+
+    ``None`` attacks every round, ``"every_k"`` attacks rounds ``0, k, 2k,
+    ...``, and an explicit tuple is clipped to the horizon.
+    """
+    if spec is None:
+        return tuple(range(total_rounds))
+    if isinstance(spec, str):
+        return tuple(range(0, total_rounds, _every_step(spec)))
+    return tuple(r for r in spec if r < total_rounds)
+
+
+class AttackSchedule:
+    """Runs the configured adversary at the designated rounds of a simulation."""
+
+    def __init__(self, config: FederatedConfig) -> None:
+        if config.attack not in ATTACK_KINDS:
+            raise ValueError(
+                f"unknown attack {config.attack!r}; expected one of {ATTACK_KINDS}"
+            )
+        self.config = config
+        self.kind = config.attack
+        self.rounds_spec = config.attack_rounds
+        self.client_filter = (
+            frozenset(config.attack_clients) if config.attack_clients is not None else None
+        )
+        self.restarts = int(config.attack_seeds)
+        # images live in [0, 1]; the synthetic tabular features are Gaussian
+        # cluster points, so the reconstruction box is widened accordingly
+        value_range = (0.0, 1.0) if config.spec.is_image else (-6.0, 6.0)
+        self.attack_config = AttackConfig(
+            max_iterations=int(config.attack_iterations),
+            value_range=value_range,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: FederatedConfig) -> Optional["AttackSchedule"]:
+        """The schedule declared by ``config``, or ``None`` when attacks are off."""
+        if config.attack is None:
+            return None
+        return cls(config)
+
+    # ------------------------------------------------------------------
+    def is_attack_round(self, round_index: int) -> bool:
+        """Whether the adversary strikes at ``round_index``."""
+        spec = self.rounds_spec
+        if spec is None:
+            return True
+        if isinstance(spec, str):
+            return round_index % _every_step(spec) == 0
+        return round_index in spec
+
+    def target_clients(self, participating: Sequence[int]) -> List[int]:
+        """The participating clients the adversary attacks this round."""
+        if self.client_filter is None:
+            return [int(c) for c in participating]
+        return [int(c) for c in participating if c in self.client_filter]
+
+    # ------------------------------------------------------------------
+    def run_round_attacks(
+        self,
+        trainer,
+        clients: Sequence,
+        broadcast_weights: Sequence[np.ndarray],
+        participating: Sequence[int],
+        round_index: int,
+    ) -> List[AttackRecord]:
+        """Attack every targeted participant of one round.
+
+        ``broadcast_weights`` must be the global weights ``W(t)`` the round's
+        cohort trained from (captured *before* aggregation).  Returns one
+        record per attacked client, in participation order.
+        """
+        records: List[AttackRecord] = []
+        for client_id in self.target_clients(participating):
+            records.append(
+                self._attack_client(
+                    trainer, clients[client_id], broadcast_weights, round_index
+                )
+            )
+        return records
+
+    def _attack_client(
+        self, trainer, client, broadcast_weights: Sequence[np.ndarray], round_index: int
+    ) -> AttackRecord:
+        seed = self.config.seed
+        client_id = client.client_id
+        # one stream per (round, client) for the probe choice and the
+        # observation's sanitisation draws; one per restart for dummy seeds
+        observation_rng = np.random.default_rng(
+            domain_seed_sequence(seed, ATTACK_DOMAIN, round_index, client_id)
+        )
+        probe = int(observation_rng.integers(0, client.num_examples))
+        features = client.dataset.features[probe : probe + 1]
+        labels = client.dataset.labels[probe : probe + 1]
+
+        threat = GradientLeakageThreat(
+            trainer, self.attack_config, compression_ratio=self.config.compression_ratio
+        )
+        observation = threat.observe(
+            "type0",
+            broadcast_weights,
+            features,
+            labels,
+            round_index=round_index,
+            rng=observation_rng,
+        )
+
+        restart_seeds = [
+            domain_seed_sequence(seed, ATTACK_DOMAIN, round_index, client_id, restart)
+            for restart in range(self.restarts)
+        ]
+        attack = MultiRestartReconstruction(trainer.model, self.attack_config)
+        result = attack.run(
+            observation.gradients,
+            features.shape[1:],
+            restart_seeds,
+            ground_truth=features[0],
+            labels=labels,
+            global_weights=broadcast_weights,
+        )
+        return AttackRecord(
+            client_id=int(client_id),
+            mse=float(result.reconstruction_distance),
+            psnr=float(result.psnr),
+            success=bool(result.succeeded),
+            iterations=int(result.num_iterations),
+            final_loss=float(result.final_loss),
+            best_restart=int(result.best_restart),
+            restarts=int(result.restarts),
+        )

@@ -28,9 +28,11 @@ Examples::
     python -m repro run --profile quick --checkpoint ck.json --rounds 8 --resume
     python -m repro run --partition dirichlet --dirichlet-alpha 0.1 --dropout 0.3
     python -m repro run --partition quantity_skew --accountant heterogeneous --epsilon-budget 1.0
+    python -m repro run --dataset cancer --attack leakage --attack-rounds every_2
     python -m repro tables 1 6
     python -m repro figures 3
     python -m repro scenarios --methods nonprivate fed_cdp --dataset mnist
+    python -m repro scenarios --dataset cancer --attack leakage --partitions iid
 """
 
 from __future__ import annotations
@@ -48,10 +50,12 @@ from repro.data.partition import PARTITION_STRATEGIES
 from repro.experiments.harness import SCALE_PROFILES, make_config
 from repro.federated.config import (
     ACCOUNTANT_NAMES,
+    ATTACK_KINDS,
     CLIENT_SAMPLING_SCHEMES,
     EXECUTORS,
     METHODS,
     FederatedConfig,
+    normalize_attack_rounds,
 )
 from repro.federated.simulation import FederatedSimulation
 
@@ -60,6 +64,34 @@ __all__ = ["main", "build_parser", "load_config_file", "run_experiment"]
 
 #: Config-file keys that are runner settings rather than FederatedConfig fields.
 _RUNNER_KEYS = ("profile",)
+
+
+def _parse_attack_rounds(tokens: Optional[List[str]]) -> Optional[object]:
+    """Turn ``--attack-rounds`` tokens into a config value.
+
+    Accepts either one ``every_k`` token (attack rounds ``0, k, 2k, ...``) or
+    a list of round indices.  The result is canonicalised with
+    :func:`repro.federated.config.normalize_attack_rounds` and returned in
+    its JSON shape (a sorted list), so resume-conflict checks compare equal
+    against checkpointed configs.
+    """
+    if tokens is None:
+        return None
+    if len(tokens) == 1 and tokens[0].startswith("every_"):
+        try:
+            return normalize_attack_rounds(tokens[0])
+        except ValueError as error:
+            raise SystemExit(f"--attack-rounds: {error}")
+    try:
+        rounds = [int(token) for token in tokens]
+    except ValueError:
+        raise SystemExit(
+            f"--attack-rounds expects round indices or a single 'every_k', got {tokens}"
+        )
+    try:
+        return list(normalize_attack_rounds(rounds))
+    except ValueError as error:
+        raise SystemExit(f"--attack-rounds: {error}")
 
 
 def load_config_file(path: str) -> dict:
@@ -120,6 +152,20 @@ def _config_from_args(args: argparse.Namespace) -> tuple:
         raise SystemExit(f"unknown profile {profile!r}; expected one of {sorted(SCALE_PROFILES)}")
 
     overrides = dict(file_overrides)
+    # canonicalise schedule-shaped file values exactly as FederatedConfig
+    # will, so resume-conflict checks compare like against like (replaying
+    # the original --config command with --resume appended must work even
+    # when the file lists rounds/clients unsorted or with duplicates)
+    if overrides.get("attack_rounds") is not None:
+        try:
+            normalised = normalize_attack_rounds(overrides["attack_rounds"])
+        except ValueError as error:
+            raise SystemExit(f"config file attack_rounds: {error}")
+        overrides["attack_rounds"] = (
+            normalised if isinstance(normalised, str) else list(normalised)
+        )
+    if overrides.get("attack_clients") is not None:
+        overrides["attack_clients"] = sorted({int(c) for c in overrides["attack_clients"]})
     flag_overrides = {
         "dataset": args.dataset,
         "method": args.method,
@@ -140,6 +186,11 @@ def _config_from_args(args: argparse.Namespace) -> tuple:
         "straggler_deadline": args.straggler_deadline,
         "accountant": args.accountant,
         "epsilon_budget": args.epsilon_budget,
+        "attack": args.attack,
+        "attack_rounds": _parse_attack_rounds(args.attack_rounds),
+        "attack_clients": sorted(set(args.attack_clients)) if args.attack_clients else None,
+        "attack_seeds": args.attack_seeds,
+        "attack_iterations": args.attack_iterations,
     }
     overrides.update({key: value for key, value in flag_overrides.items() if value is not None})
     explicit = dict(overrides)
@@ -269,6 +320,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"epsilon={history.final_epsilon:.4f} "
         f"mean cost={history.mean_time_per_iteration_ms:.2f} ms/iteration"
     )
+    if config.attack is not None:
+        records = history.attack_records
+        print(
+            f"[repro] in-loop {config.attack} attack: {len(records)} attacks over "
+            f"rounds {history.attacked_rounds}, mean reconstruction MSE="
+            f"{history.mean_attack_mse:.4f}, success rate={history.attack_success_rate:.2f}"
+        )
     if config.accountant == "heterogeneous":
         equal_shard = simulation.accountant.equal_shard_epsilon(config.delta)
         print(
@@ -354,6 +412,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             profile=args.table_profile,
             seed=args.seed,
             verbose=args.verbose,
+            attack=args.attack,
         )
     except ValueError as error:
         raise SystemExit(str(error))
@@ -434,6 +493,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="round deadline in simulated time units (lognormal(0,1) client durations)",
     )
+    run.add_argument(
+        "--attack",
+        choices=ATTACK_KINDS,
+        help="run the in-loop adversary during training (see docs/in_loop_attacks.md)",
+    )
+    run.add_argument(
+        "--attack-rounds",
+        nargs="+",
+        metavar="ROUND|every_k",
+        help="rounds to attack: explicit indices ('0 5 10') or one 'every_k' "
+        "(default with --attack: every round)",
+    )
+    run.add_argument(
+        "--attack-clients",
+        nargs="+",
+        type=int,
+        metavar="CLIENT",
+        help="client ids to attack when they participate (default: all participants)",
+    )
+    run.add_argument(
+        "--attack-seeds",
+        type=int,
+        help="dummy-seed restarts per attack, optimised as one batched reconstruction",
+    )
+    run.add_argument(
+        "--attack-iterations", type=int, help="attack optimiser iteration cap per attack"
+    )
     run.add_argument("--seed", type=int, help="global RNG seed")
     run.add_argument("--executor", choices=EXECUTORS, help="client-execution backend (default: serial)")
     run.add_argument("--workers", type=int, help="worker-pool size for --executor multiprocessing")
@@ -460,6 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument(
         "--availabilities", nargs="*", default=None,
         help="availability scenario names (default: all)",
+    )
+    scenarios.add_argument(
+        "--attack",
+        choices=ATTACK_KINDS,
+        help="fill the attack-resilience columns by running the in-loop adversary "
+        "in every cell",
     )
     scenarios.add_argument("--dataset", default="mnist", help="benchmark dataset (default: mnist)")
     scenarios.add_argument(

@@ -15,6 +15,7 @@ recoverable from the cell's ``config`` attribute).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,7 @@ from .harness import format_table, make_config
 __all__ = [
     "PARTITION_SCENARIOS",
     "AVAILABILITY_SCENARIOS",
+    "ATTACK_SCENARIO_DEFAULTS",
     "ScenarioCell",
     "ScenarioMatrixResult",
     "run_scenario_matrix",
@@ -52,6 +54,19 @@ AVAILABILITY_SCENARIOS: Dict[str, dict] = {
 }
 
 
+#: In-loop adversary overrides applied to every cell when ``attack`` is set:
+#: strike every second round with a short optimisation so the sweep stays
+#: interactive; callers may override any of these via ``config_overrides``.
+#: (Striking beyond round 0 matters: at the shared initial weights the
+#: single-example observations of Fed-SDP and Fed-CDP coincide exactly, so a
+#: round-0-only sweep could not distinguish the two defenses.)
+ATTACK_SCENARIO_DEFAULTS: Dict[str, object] = {
+    "attack_rounds": "every_2",
+    "attack_seeds": 2,
+    "attack_iterations": 25,
+}
+
+
 @dataclass
 class ScenarioCell:
     """Outcome of one (partition, availability, method) simulation.
@@ -61,6 +76,11 @@ class ScenarioCell:
     *and* the paper's equal-shard figure (``equal_shard_epsilon``) side by
     side; the gap between the two is exactly what the equal-shard model
     understates for the examples on the smallest shard.
+
+    With ``attack="leakage"`` every cell additionally runs the in-loop
+    gradient-leakage adversary and reports its reconstruction MSE — the
+    attack-resilience comparison across defenses under each scenario (high
+    MSE = resilient; see docs/in_loop_attacks.md).
     """
 
     partition: str
@@ -77,6 +97,10 @@ class ScenarioCell:
     total_dropped: int
     total_stragglers: int
     skipped_rounds: int
+    #: mean in-loop reconstruction MSE over the cell's attacks (NaN = no attack)
+    attack_mse: float = float("nan")
+    #: fraction of the cell's in-loop attacks that succeeded (NaN = no attack)
+    attack_success: float = float("nan")
 
 
 @dataclass
@@ -87,6 +111,10 @@ class ScenarioMatrixResult:
     histories: Dict[Tuple[str, str, str], SimulationHistory] = field(default_factory=dict)
 
     def formatted(self) -> str:
+        def optional(value: float) -> str:
+            # the attack columns stay readable when the sweep ran unattacked
+            return "-" if isinstance(value, float) and math.isnan(value) else f"{value:.4f}"
+
         rows = [
             [
                 cell.partition,
@@ -99,6 +127,8 @@ class ScenarioMatrixResult:
                 cell.total_dropped,
                 cell.total_stragglers,
                 cell.skipped_rounds,
+                optional(cell.attack_mse),
+                optional(cell.attack_success),
             ]
             for cell in self.cells
         ]
@@ -115,6 +145,8 @@ class ScenarioMatrixResult:
                 "dropped",
                 "stragglers",
                 "skipped",
+                "attack-mse",
+                "attack-success",
             ],
             title="Scenario matrix (partition x availability x method)",
         )
@@ -128,6 +160,7 @@ def run_scenario_matrix(
     profile: str = "quick",
     seed: int = 0,
     verbose: bool = False,
+    attack: Optional[str] = None,
     **config_overrides,
 ) -> ScenarioMatrixResult:
     """Run the (partition × availability × method) sweep and collect one table.
@@ -136,7 +169,9 @@ def run_scenario_matrix(
     :data:`PARTITION_SCENARIOS` / :data:`AVAILABILITY_SCENARIOS` (``None``
     sweeps all of them); extra keyword arguments are forwarded to every
     cell's config, letting callers shrink the runs (``rounds=2``) or change
-    the dataset scale.
+    the dataset scale.  ``attack="leakage"`` runs the in-loop adversary in
+    every cell (under :data:`ATTACK_SCENARIO_DEFAULTS` unless overridden) and
+    fills the matrix's attack-resilience columns.
     """
     partitions = list(partitions) if partitions is not None else list(PARTITION_SCENARIOS)
     availabilities = (
@@ -157,6 +192,10 @@ def run_scenario_matrix(
                 overrides = dict(config_overrides)
                 overrides.update(PARTITION_SCENARIOS[partition_name])
                 overrides.update(AVAILABILITY_SCENARIOS[availability_name])
+                if attack is not None:
+                    overrides["attack"] = attack
+                    for attack_field, default in ATTACK_SCENARIO_DEFAULTS.items():
+                        overrides.setdefault(attack_field, default)
                 # private cells default to the heterogeneity-aware accountant
                 # so worst-case and equal-shard epsilon appear side by side
                 # (the accountant reads the trajectory; it never changes it)
@@ -184,6 +223,8 @@ def run_scenario_matrix(
                     total_dropped=history.total_dropped,
                     total_stragglers=history.total_stragglers,
                     skipped_rounds=history.skipped_rounds,
+                    attack_mse=history.mean_attack_mse,
+                    attack_success=history.attack_success_rate,
                 )
                 result.cells.append(cell)
                 result.histories[(partition_name, availability_name, method)] = history

@@ -9,12 +9,13 @@ from .executor import (
     ClientExecutor,
     MultiprocessingClientExecutor,
     SerialClientExecutor,
+    domain_seed_sequence,
     make_executor,
     spawn_client_seeds,
 )
 from .sampling import sample_clients_fixed, sample_clients_poisson
 from .secure_aggregation import PairwiseMaskingProtocol
-from .server import FederatedServer, RoundResult
+from .server import AttackRecord, FederatedServer, RoundResult
 from .simulation import FederatedSimulation, SimulationHistory
 
 __all__ = [
@@ -28,10 +29,12 @@ __all__ = [
     "SerialClientExecutor",
     "MultiprocessingClientExecutor",
     "make_executor",
+    "domain_seed_sequence",
     "spawn_client_seeds",
     "FederatedClient",
     "FederatedServer",
     "RoundResult",
+    "AttackRecord",
     "FederatedSimulation",
     "SimulationHistory",
     "fedsgd_aggregate",

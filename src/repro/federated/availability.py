@@ -30,6 +30,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .executor import domain_seed_sequence
+
 __all__ = ["AvailabilityModel", "AvailabilityDraw"]
 
 
@@ -106,9 +108,7 @@ class AvailabilityModel:
                 participating=[int(c) for c in selected],
                 participating_slots=list(range(len(selected))),
             )
-        root = np.random.SeedSequence(
-            entropy=(self.seed, _AVAILABILITY_DOMAIN, int(round_index))
-        )
+        root = domain_seed_sequence(self.seed, _AVAILABILITY_DOMAIN, round_index)
         participating: List[int] = []
         slots: List[int] = []
         dropped: List[int] = []

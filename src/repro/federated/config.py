@@ -10,8 +10,9 @@ Fed-CDP, Fed-CDP(decay), DSSGD) and its differential-privacy parameters
 
 from __future__ import annotations
 
+import re
 from dataclasses import asdict, dataclass, replace
-from typing import Mapping, Optional, Tuple
+from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from repro.data.partition import PARTITION_STRATEGIES
 from repro.data.registry import DatasetSpec, get_dataset_spec
@@ -24,6 +25,8 @@ __all__ = [
     "EXECUTORS",
     "CLIENT_SAMPLING_SCHEMES",
     "ACCOUNTANT_NAMES",
+    "ATTACK_KINDS",
+    "normalize_attack_rounds",
 ]
 
 
@@ -39,6 +42,38 @@ EXECUTORS: Tuple[str, ...] = ("serial", "multiprocessing")
 
 #: Per-round client-selection schemes understood by the server.
 CLIENT_SAMPLING_SCHEMES: Tuple[str, ...] = ("fixed", "poisson")
+
+#: In-loop adversary kinds understood by :class:`repro.attacks.schedule.AttackSchedule`.
+ATTACK_KINDS: Tuple[str, ...] = ("leakage",)
+
+#: accepted string form of ``attack_rounds``: ``"every_k"`` attacks rounds
+#: ``0, k, 2k, ...``
+_EVERY_K_PATTERN = re.compile(r"^every_([1-9]\d*)$")
+
+
+def normalize_attack_rounds(
+    value: Optional[Union[str, Sequence[int]]],
+) -> Optional[Union[str, Tuple[int, ...]]]:
+    """Validate and canonicalise an ``attack_rounds`` specification.
+
+    ``None`` (attack every round) and ``"every_k"`` strings pass through;
+    explicit round lists become sorted, de-duplicated tuples of non-negative
+    ints so that configs rebuilt from JSON checkpoints compare equal.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        if _EVERY_K_PATTERN.match(value) is None:
+            raise ValueError(
+                f"attack_rounds string must look like 'every_k' (k >= 1), got {value!r}"
+            )
+        return value
+    rounds = tuple(sorted({int(r) for r in value}))
+    if not rounds:
+        raise ValueError("attack_rounds must name at least one round (or be None)")
+    if rounds[0] < 0:
+        raise ValueError(f"attack_rounds must be non-negative, got {rounds}")
+    return rounds
 
 
 @dataclass
@@ -118,6 +153,23 @@ class FederatedConfig:
     #: methods only)
     epsilon_budget: Optional[float] = None
 
+    # ----- in-loop adversary (see docs/in_loop_attacks.md) ---------------
+    #: in-loop attack kind, one of :data:`ATTACK_KINDS` (``None`` disables;
+    #: ``leakage`` runs gradient-reconstruction attacks inside the simulation)
+    attack: Optional[str] = None
+    #: rounds at which the adversary strikes: ``None`` (every round), an
+    #: explicit list of round indices, or the string ``"every_k"``
+    attack_rounds: Optional[Union[str, Tuple[int, ...]]] = None
+    #: client ids the adversary targets when they participate in an attacked
+    #: round (``None`` = every participating client)
+    attack_clients: Optional[Tuple[int, ...]] = None
+    #: number of multi-restart dummy seeds per attack, optimised as one
+    #: batched reconstruction (see :mod:`repro.attacks.multistart`)
+    attack_seeds: int = 1
+    #: maximum attack optimiser iterations per in-loop attack (the offline
+    #: harness default of 300 is too slow to run inside every round)
+    attack_iterations: int = 30
+
     # ----- baselines / extensions --------------------------------------
     #: fraction of parameters shared by the DSSGD baseline
     dssgd_share_fraction: float = 0.1
@@ -188,6 +240,39 @@ class FederatedConfig:
             )
         if self.epsilon_budget is not None and self.epsilon_budget <= 0:
             raise ValueError("epsilon_budget must be positive (or None to disable)")
+        if self.attack is not None and self.attack not in ATTACK_KINDS:
+            raise ValueError(
+                f"unknown attack {self.attack!r}; expected one of {ATTACK_KINDS} (or None)"
+            )
+        self.attack_rounds = normalize_attack_rounds(self.attack_rounds)
+        if self.attack_clients is not None:
+            clients = tuple(sorted({int(c) for c in self.attack_clients}))
+            if not clients:
+                raise ValueError("attack_clients must name at least one client (or be None)")
+            if clients[0] < 0 or clients[-1] >= self.num_clients:
+                raise ValueError(
+                    f"attack_clients must lie in [0, {self.num_clients}), got {clients}"
+                )
+            self.attack_clients = clients
+        if isinstance(self.attack_rounds, tuple) and self.attack_rounds[0] >= self.rounds:
+            raise ValueError(
+                f"attack_rounds {self.attack_rounds} schedules no attack within the "
+                f"{self.rounds}-round horizon"
+            )
+        if self.attack is None and (
+            self.attack_rounds is not None
+            or self.attack_clients is not None
+            or self.attack_seeds != 1
+            or self.attack_iterations != 30
+        ):
+            raise ValueError(
+                "attack_rounds/attack_clients/attack_seeds/attack_iterations require "
+                "an attack kind (set attack='leakage')"
+            )
+        if self.attack_seeds < 1:
+            raise ValueError("attack_seeds must be at least 1")
+        if self.attack_iterations < 1:
+            raise ValueError("attack_iterations must be at least 1")
         if self.executor not in EXECUTORS:
             raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
         if self.num_workers is not None and self.num_workers < 1:
@@ -255,16 +340,25 @@ class FederatedConfig:
         """Plain-JSON-serialisable dictionary of the config.
 
         Fields added after the checkpoint format stabilised (``accountant``,
-        ``epsilon_budget``) are omitted while at their defaults, so default
-        runs keep emitting byte-identical checkpoints and golden fixtures,
-        and checkpoints written before those fields existed still satisfy
-        :meth:`from_dict` round-trip equality.
+        ``epsilon_budget``, the ``attack*`` family) are omitted while at their
+        defaults, so default runs keep emitting byte-identical checkpoints and
+        golden fixtures, and checkpoints written before those fields existed
+        still satisfy :meth:`from_dict` round-trip equality.
         """
         payload = asdict(self)
         if payload["accountant"] == "moments":
             del payload["accountant"]
         if payload["epsilon_budget"] is None:
             del payload["epsilon_budget"]
+        for attack_field, default in (
+            ("attack", None),
+            ("attack_rounds", None),
+            ("attack_clients", None),
+            ("attack_seeds", 1),
+            ("attack_iterations", 30),
+        ):
+            if payload[attack_field] == default:
+                del payload[attack_field]
         return payload
 
     @classmethod
@@ -276,4 +370,8 @@ class FederatedConfig:
             raise ValueError(f"unknown FederatedConfig fields: {sorted(unknown)}")
         if "decay_clipping" in data and data["decay_clipping"] is not None:
             data["decay_clipping"] = tuple(data["decay_clipping"])
+        for tuple_field in ("attack_rounds", "attack_clients"):
+            value = data.get(tuple_field)
+            if value is not None and not isinstance(value, str):
+                data[tuple_field] = tuple(value)
         return cls(**data)

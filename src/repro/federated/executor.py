@@ -43,14 +43,37 @@ __all__ = [
     "SerialClientExecutor",
     "MultiprocessingClientExecutor",
     "make_executor",
+    "domain_seed_sequence",
     "spawn_client_seeds",
     "default_num_workers",
 ]
 
 
 #: Domain-separation tag mixed into the per-round client SeedSequence so the
-#: client streams never collide with other uses of the config seed.
+#: client streams never collide with other uses of the config seed.  Sibling
+#: domains: ``repro.federated.availability._AVAILABILITY_DOMAIN`` (dropout /
+#: straggler draws) and ``repro.attacks.schedule.ATTACK_DOMAIN`` (in-loop
+#: adversary draws) — every consumer of the config seed derives its streams
+#: through :func:`domain_seed_sequence` with its own tag, so no two subsystems
+#: can ever consume correlated randomness.
 _CLIENT_STREAM_DOMAIN = 0x0C11E27
+
+
+def domain_seed_sequence(seed: int, domain: int, *key: int) -> np.random.SeedSequence:
+    """Root ``SeedSequence`` of one RNG domain, keyed on ``(seed, domain, *key)``.
+
+    Every source of randomness outside the simulation's main generator
+    (client training streams, availability draws, in-loop attack draws) is
+    derived from a root built here.  Because the entropy tuple contains only
+    the config seed, the subsystem's domain tag and the caller's structural
+    key (round index, slot, client id, restart index, ...), the resulting
+    streams are independent of the execution backend, of scheduling order and
+    of how many rounds ran before — the invariant behind the
+    serial ≡ multiprocessing guarantee and exact checkpoint resume.
+    """
+    return np.random.SeedSequence(
+        entropy=(int(seed), int(domain)) + tuple(int(k) for k in key)
+    )
 
 
 def spawn_client_seeds(
@@ -65,7 +88,7 @@ def spawn_client_seeds(
     """
     if count < 0:
         raise ValueError("count must be non-negative")
-    root = np.random.SeedSequence(entropy=(int(seed), _CLIENT_STREAM_DOMAIN, int(round_index)))
+    root = domain_seed_sequence(seed, _CLIENT_STREAM_DOMAIN, round_index)
     return list(root.spawn(count))
 
 

@@ -13,7 +13,38 @@ from .compression import prune_update
 from .config import CLIENT_SAMPLING_SCHEMES
 from .sampling import sample_clients_fixed, sample_clients_poisson
 
-__all__ = ["RoundResult", "FederatedServer"]
+__all__ = ["AttackRecord", "RoundResult", "FederatedServer"]
+
+
+@dataclass
+class AttackRecord:
+    """Outcome of one in-loop gradient-leakage attack against one client.
+
+    Produced by :class:`repro.attacks.schedule.AttackSchedule` at the rounds
+    designated by the config's attack schedule and recorded on the round's
+    :class:`RoundResult`, from where it serialises into checkpoints and the
+    golden-trajectory fixtures.  All fields are plain JSON scalars; a
+    non-finite ``psnr`` (a bit-perfect reconstruction) is encoded as ``null``
+    by :meth:`repro.federated.simulation.SimulationHistory.to_dict`.
+    """
+
+    #: id of the attacked (participating) client
+    client_id: int
+    #: reconstruction MSE — the paper's per-feature root mean squared
+    #: deviation between reconstruction and private ground truth (Section VII)
+    mse: float
+    #: peak signal-to-noise ratio of the reconstruction in dB
+    psnr: float
+    #: whether the gradient-matching loss reached the success threshold
+    success: bool
+    #: attack optimiser iterations performed before success / give-up
+    iterations: int
+    #: final (best) gradient-matching loss across restarts
+    final_loss: float
+    #: index of the winning dummy-seed restart
+    best_restart: int
+    #: number of dummy-seed restarts optimised (batched) for this attack
+    restarts: int
 
 
 @dataclass
@@ -41,6 +72,9 @@ class RoundResult:
     dropped_clients: List[int] = field(default_factory=list)
     #: selected clients excluded for missing the round deadline
     straggler_clients: List[int] = field(default_factory=list)
+    #: in-loop adversary outcomes for this round (empty when the round was
+    #: not attacked or no attack schedule is configured)
+    attacks: List[AttackRecord] = field(default_factory=list)
 
     @property
     def skipped(self) -> bool:

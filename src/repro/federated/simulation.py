@@ -14,6 +14,12 @@ so a fixed seed yields a bit-identical history either way.  The simulation can
 also write round-level JSON checkpoints and resume from them exactly — see
 :meth:`FederatedSimulation.save_checkpoint` and
 :meth:`FederatedSimulation.from_checkpoint`.
+
+When the config declares an attack schedule (``attack="leakage"``), an
+in-loop adversary (:class:`repro.attacks.schedule.AttackSchedule`) strikes
+the scheduled rounds and its per-client
+:class:`~repro.federated.server.AttackRecord` outcomes are recorded on each
+``RoundResult`` — see docs/in_loop_attacks.md.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ from .availability import AvailabilityModel
 from .client import FederatedClient
 from .config import PRIVATE_METHODS, FederatedConfig
 from .executor import make_executor, spawn_client_seeds
-from .server import FederatedServer, RoundResult
+from .server import AttackRecord, FederatedServer, RoundResult
 
 __all__ = ["SimulationHistory", "FederatedSimulation", "CHECKPOINT_FORMAT_VERSION"]
 
@@ -110,6 +116,35 @@ class SimulationHistory:
         return sum(1 for r in self.rounds if r.skipped)
 
     # ------------------------------------------------------------------
+    # In-loop adversary bookkeeping (see docs/in_loop_attacks.md)
+    # ------------------------------------------------------------------
+    @property
+    def attacked_rounds(self) -> List[int]:
+        """Round indices at which the in-loop adversary struck."""
+        return [r.round_index for r in self.rounds if r.attacks]
+
+    @property
+    def attack_records(self) -> List[AttackRecord]:
+        """All in-loop attack records across the run, in round order."""
+        return [record for r in self.rounds for record in r.attacks]
+
+    @property
+    def mean_attack_mse(self) -> float:
+        """Mean reconstruction MSE over every in-loop attack (NaN when none ran)."""
+        records = self.attack_records
+        if not records:
+            return float("nan")
+        return float(np.mean([record.mse for record in records]))
+
+    @property
+    def attack_success_rate(self) -> float:
+        """Fraction of in-loop attacks that met the success threshold (NaN when none ran)."""
+        records = self.attack_records
+        if not records:
+            return float("nan")
+        return float(np.mean([record.success for record in records]))
+
+    # ------------------------------------------------------------------
     # Serialization (checkpoints and the CLI's ``--output`` JSON)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -127,6 +162,17 @@ class SimulationHistory:
         for result in self.rounds:
             payload = asdict(result)
             payload["mean_loss"] = de_nan(payload["mean_loss"])
+            # mirror the config convention: the attacks key is omitted at its
+            # default (no attack ran), so unattacked checkpoints and fixtures
+            # stay byte-identical to their pre-attack-era form
+            if payload["attacks"]:
+                for attack in payload["attacks"]:
+                    # a bit-perfect reconstruction has infinite PSNR, which
+                    # strict RFC-8259 JSON cannot carry
+                    if not np.isfinite(attack["psnr"]):
+                        attack["psnr"] = None
+            else:
+                del payload["attacks"]
             rounds.append(payload)
         payload = {
             "config": self.config.to_dict(),
@@ -154,6 +200,13 @@ class SimulationHistory:
             entry.setdefault("participating_clients", list(entry["selected_clients"]))
             if entry["mean_loss"] is None:  # skipped round, serialised as null
                 entry["mean_loss"] = float("nan")
+            attacks = []
+            for attack in entry.get("attacks", []):
+                attack = dict(attack)
+                if attack["psnr"] is None:  # infinite PSNR, serialised as null
+                    attack["psnr"] = float("inf")
+                attacks.append(AttackRecord(**attack))
+            entry["attacks"] = attacks
             rounds.append(RoundResult(**entry))
         return cls(
             config=config,
@@ -230,6 +283,14 @@ class FederatedSimulation:
             client_sampling=config.client_sampling,
         )
         self.availability = AvailabilityModel.from_config(config)
+        # lazy import: the attack stack (scipy's optimiser) is only paid for
+        # when the config actually schedules an in-loop adversary
+        if config.attack is not None:
+            from repro.attacks.schedule import AttackSchedule
+
+            self.attack_schedule: Optional["AttackSchedule"] = AttackSchedule.from_config(config)
+        else:
+            self.attack_schedule = None
         # the accountant is resolved through the registry and bound to the
         # *realised* partition, so shard-size-aware accountants see the true
         # per-client rates (docs/privacy_accounting.md)
@@ -290,6 +351,14 @@ class FederatedSimulation:
                 history.budget_stop_round = round_index
                 break
             client_seeds = spawn_client_seeds(self.config.seed, round_index, seed_slots)
+            attack_this_round = (
+                self.attack_schedule is not None
+                and self.attack_schedule.is_attack_round(round_index)
+            )
+            if attack_this_round:
+                # the adversary targets the broadcast weights W(t) the cohort
+                # trained from, captured before aggregation replaces them
+                broadcast_weights = [np.array(w, copy=True) for w in self.server.global_weights]
             result = self.server.run_round(
                 self.clients,
                 round_index,
@@ -299,6 +368,17 @@ class FederatedSimulation:
                 client_seeds=client_seeds,
                 availability=self.availability if self.availability.active else None,
             )
+            if attack_this_round and not result.skipped:
+                # observational only: the attack consumes its own RNG domain
+                # and never touches server, trainer or accountant state, so
+                # the training trajectory matches the unattacked run exactly
+                result.attacks = self.attack_schedule.run_round_attacks(
+                    self.trainer,
+                    self.clients,
+                    broadcast_weights,
+                    result.participating_clients,
+                    round_index,
+                )
             history.rounds.append(result)
             if is_private:
                 # a skipped round releases nothing, so it costs no privacy;

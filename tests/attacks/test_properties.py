@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for attack metrics and attack seeds.
+
+The in-loop adversary engine leans on these small functions for every record
+it emits — ``reconstruction_distance``/``psnr`` become the ``mse``/``psnr``
+fields of each :class:`~repro.federated.server.AttackRecord`, the aggregate
+metrics feed the scenario matrix's resilience columns, and the seed
+generators initialise every dummy restart — so their invariants are pinned
+down property-style rather than with a handful of examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    SEED_KINDS,
+    attack_success_rate,
+    make_seed,
+    mean_attack_iterations,
+    psnr,
+    reconstruction_distance,
+)
+from repro.attacks.reconstruction import AttackResult
+from repro.federated.server import AttackRecord
+
+
+def _array(values, shape):
+    return np.array(values, dtype=np.float64).reshape(shape)
+
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(finite_floats, min_size=4, max_size=24),
+    offsets=st.lists(finite_floats, min_size=4, max_size=24),
+)
+def test_reconstruction_distance_non_negative_symmetric_identity(values, offsets):
+    size = min(len(values), len(offsets))
+    truth = _array(values[:size], (size,))
+    other = _array(offsets[:size], (size,))
+    distance = reconstruction_distance(other, truth)
+    # non-negativity, identity of indiscernibles and symmetry of an RMSE
+    assert distance >= 0.0
+    assert reconstruction_distance(truth, truth) == 0.0
+    assert distance == reconstruction_distance(truth, other)
+    # RMSE of a constant shift equals the shift magnitude
+    shift = abs(float(offsets[0]))
+    np.testing.assert_allclose(
+        reconstruction_distance(truth + shift, truth), shift, atol=1e-9
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(finite_floats, min_size=4, max_size=16),
+    small=st.floats(min_value=1e-6, max_value=0.5),
+    large=st.floats(min_value=0.51, max_value=5.0),
+)
+def test_psnr_monotone_in_mse_and_infinite_at_zero_error(values, small, large):
+    truth = _array(values, (len(values),))
+    # a perfect reconstruction has infinite PSNR
+    assert psnr(truth, truth) == float("inf")
+    # PSNR is strictly decreasing in the reconstruction error
+    assert psnr(truth + small, truth) > psnr(truth + large, truth)
+    # closed form for a constant shift: 20 log10(range / shift)
+    np.testing.assert_allclose(
+        psnr(truth + small, truth, data_range=2.0),
+        20.0 * np.log10(2.0 / small),
+        rtol=1e-10,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    successes=st.lists(st.booleans(), min_size=0, max_size=12),
+    iterations=st.lists(st.integers(min_value=0, max_value=300), min_size=0, max_size=12),
+)
+def test_aggregate_metrics_on_empty_and_mixed_result_sets(successes, iterations):
+    size = min(len(successes), len(iterations))
+    offline = [
+        AttackResult(
+            succeeded=successes[i],
+            num_iterations=iterations[i],
+            final_loss=0.0,
+            reconstruction_distance=0.0,
+            reconstruction=np.zeros(1),
+        )
+        for i in range(size)
+    ]
+    in_loop = [
+        AttackRecord(
+            client_id=i,
+            mse=0.0,
+            psnr=0.0,
+            success=successes[i],
+            iterations=iterations[i],
+            final_loss=0.0,
+            best_restart=0,
+            restarts=1,
+        )
+        for i in range(size)
+    ]
+    # empty sets are defined (0.0), mixed sets agree across both record types
+    assert attack_success_rate([]) == 0.0
+    assert mean_attack_iterations([]) == 0.0
+    for results in (offline, in_loop):
+        rate = attack_success_rate(results)
+        mean_iters = mean_attack_iterations(results)
+        assert 0.0 <= rate <= 1.0
+        if size:
+            assert rate == np.mean([bool(s) for s in successes[:size]])
+            assert mean_iters == np.mean(iterations[:size])
+        else:
+            assert rate == 0.0 and mean_iters == 0.0
+    assert attack_success_rate(offline) == attack_success_rate(in_loop)
+    assert mean_attack_iterations(offline) == mean_attack_iterations(in_loop)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(SEED_KINDS),
+    height=st.integers(min_value=1, max_value=12),
+    width=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_image_seed_shape_range_determinism(kind, height, width, seed):
+    shape = (1, height, width)
+    first = make_seed(kind, shape, rng=np.random.default_rng(seed))
+    again = make_seed(kind, shape, rng=np.random.default_rng(seed))
+    assert first.shape == shape
+    assert np.all(first >= 0.0) and np.all(first <= 1.0)
+    np.testing.assert_array_equal(first, again)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(SEED_KINDS),
+    length=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_flat_seed_shape_range_determinism(kind, length, seed):
+    shape = (length,)
+    first = make_seed(kind, shape, rng=np.random.default_rng(seed))
+    again = make_seed(kind, shape, rng=np.random.default_rng(seed))
+    assert first.shape == shape
+    assert np.all(first >= 0.0) and np.all(first <= 1.0)
+    np.testing.assert_array_equal(first, again)

@@ -311,6 +311,102 @@ def test_scenarios_subcommand(tmp_path, capsys):
     assert "Scenario matrix" in output.read_text()
 
 
+def test_run_with_attack_flags_records_attacks(tmp_path, capsys):
+    assert main(
+        _run_args(
+            tmp_path, "--rounds", "2",
+            "--attack", "leakage", "--attack-rounds", "0",
+            "--attack-seeds", "2", "--attack-iterations", "8",
+        )
+    ) == 0
+    out = capsys.readouterr().out
+    assert "in-loop leakage attack" in out
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["attack"] == "leakage"
+    assert payload["config"]["attack_rounds"] == [0]
+    attacked = [r for r in payload["rounds"] if r.get("attacks")]
+    assert [r["round_index"] for r in attacked] == [0]
+    for record in attacked[0]["attacks"]:
+        assert record["restarts"] == 2
+        assert record["mse"] >= 0.0
+
+
+def test_attack_rounds_flag_accepts_every_k_and_rejects_junk(tmp_path):
+    assert main(
+        _run_args(
+            tmp_path, "--rounds", "2",
+            "--attack", "leakage", "--attack-rounds", "every_2",
+            "--attack-iterations", "5",
+        )
+    ) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["attack_rounds"] == "every_2"
+    with pytest.raises(SystemExit):
+        main(_run_args(tmp_path, "--attack", "leakage", "--attack-rounds", "soon"))
+    with pytest.raises(SystemExit):
+        main(_run_args(tmp_path, "--attack", "leakage", "--attack-rounds", "every_0"))
+
+
+def test_attack_flags_without_attack_kind_are_rejected(tmp_path):
+    with pytest.raises((SystemExit, ValueError)):
+        main(_run_args(tmp_path, "--attack-rounds", "0"))
+
+
+def test_resume_rejects_conflicting_attack_flags(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    attack_args = ("--attack", "leakage", "--attack-rounds", "0", "--attack-iterations", "5")
+    assert main(
+        _run_args(tmp_path, "--rounds", "2", "--checkpoint", checkpoint, *attack_args)
+    ) == 0
+    # replaying the original command with --resume appended works ...
+    assert main(
+        _run_args(tmp_path, "--rounds", "2", "--checkpoint", checkpoint, "--resume", *attack_args)
+    ) == 0
+    # ... but changing the attack schedule against the checkpoint fails loudly
+    with pytest.raises(SystemExit, match="attack"):
+        main(
+            _run_args(
+                tmp_path, "--rounds", "2", "--checkpoint", checkpoint, "--resume",
+                "--attack", "leakage", "--attack-rounds", "1", "--attack-iterations", "5",
+            )
+        )
+
+
+def test_resume_accepts_config_file_with_unnormalised_attack_lists(tmp_path):
+    """Replaying the original --config command with --resume must work even
+    when the file lists attack rounds/clients unsorted or duplicated."""
+    config_path = tmp_path / "attacked.json"
+    config_path.write_text(
+        json.dumps(
+            {
+                "attack": "leakage",
+                "attack_rounds": [1, 0, 1],
+                "attack_clients": [2, 0, 2],
+                "attack_iterations": 5,
+            }
+        )
+    )
+    checkpoint = str(tmp_path / "ck.json")
+    args = _run_args(tmp_path, "--rounds", "2", "--config", str(config_path), "--checkpoint", checkpoint)
+    assert main(args) == 0
+    assert main(args + ["--resume"]) == 0
+
+
+def test_scenarios_subcommand_with_attack_columns(tmp_path, capsys):
+    assert main(
+        [
+            "scenarios", "--methods", "nonprivate",
+            "--partitions", "iid", "--availabilities", "reliable",
+            "--dataset", "cancer", "--seed", "3", "--attack", "leakage",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "attack-mse" in out
+    # the attacked sweep fills the resilience columns with real numbers
+    row = next(line for line in out.splitlines() if line.startswith("iid"))
+    assert "-" != row.split()[-2]
+
+
 def test_scenarios_subcommand_rejects_unknown_names():
     with pytest.raises(SystemExit):
         main(["scenarios", "--partitions", "martian", "--dataset", "cancer"])

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.experiments.scenarios import (
+    ATTACK_SCENARIO_DEFAULTS,
     AVAILABILITY_SCENARIOS,
     PARTITION_SCENARIOS,
     run_scenario_matrix,
@@ -45,6 +48,45 @@ def test_matrix_runs_every_cell_and_formats():
     assert "dropout(0.3)" in rendered
     assert "eps(worst-case)" in rendered
     assert "eps(equal-shard)" in rendered
+
+
+def test_unattacked_matrix_renders_dash_in_attack_columns():
+    result = _tiny_matrix()
+    for cell in result.cells:
+        assert math.isnan(cell.attack_mse)
+        assert math.isnan(cell.attack_success)
+    rendered = result.formatted()
+    assert "attack-mse" in rendered and "attack-success" in rendered
+    data_rows = [line for line in rendered.splitlines() if line.startswith("iid")]
+    assert data_rows and all(row.split()[-1] == "-" for row in data_rows)
+
+
+def test_attacked_matrix_fills_resilience_columns():
+    result = run_scenario_matrix(
+        methods=("nonprivate", "fed_cdp"),
+        partitions=["iid"],
+        availabilities=["reliable"],
+        dataset="cancer",
+        profile="quick",
+        seed=2,
+        rounds=2,
+        eval_every=2,
+        attack="leakage",
+        attack_iterations=10,
+    )
+    from repro.attacks import resolve_attack_rounds
+
+    by_method = {cell.method: cell for cell in result.cells}
+    for cell in result.cells:
+        assert math.isfinite(cell.attack_mse)
+        assert 0.0 <= cell.attack_success <= 1.0
+        history = result.histories[(cell.partition, cell.availability, cell.method)]
+        expected = resolve_attack_rounds(ATTACK_SCENARIO_DEFAULTS["attack_rounds"], 2)
+        assert history.attacked_rounds == list(expected)
+    # the resilience ordering the matrix exists to surface
+    assert by_method["fed_cdp"].attack_mse > by_method["nonprivate"].attack_mse
+    rendered = result.formatted()
+    assert "-" not in [row.split()[-1] for row in rendered.splitlines() if row.startswith("iid")]
 
 
 def test_private_cells_report_both_epsilons_side_by_side():

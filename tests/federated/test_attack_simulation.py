@@ -1,0 +1,173 @@
+"""In-loop adversary integration tests: the paper's resilience claim in-loop.
+
+The acceptance demo for the attack-scheduling subsystem: at every attacked
+round, Fed-CDP's reconstruction MSE strictly exceeds the non-private
+baseline's (iid and Dirichlet partitions), the adversary is purely
+observational (an attacked run's training trajectory is bit-identical to the
+unattacked run), serial and multiprocessing backends produce identical
+``AttackRecord``s, and a run checkpointed/resumed mid-schedule replays the
+remaining attacks exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import quick_config
+from repro.federated import FederatedSimulation
+from repro.federated.simulation import SimulationHistory
+
+ATTACK_OVERRIDES = dict(
+    attack="leakage", attack_rounds=(0, 2), attack_seeds=2, attack_iterations=25
+)
+BASE = dict(rounds=3, eval_every=1, seed=1234)
+
+PARTITIONS = {
+    "iid": dict(partition="iid"),
+    "dirichlet": dict(partition="dirichlet", dirichlet_alpha=0.3),
+}
+
+
+def _run(config):
+    with FederatedSimulation(config) as simulation:
+        return simulation.run()
+
+
+@pytest.fixture(scope="module")
+def attacked_histories():
+    """One attacked run per (method, partition) cell, shared across tests."""
+    histories = {}
+    for partition_name, partition in PARTITIONS.items():
+        for method in ("nonprivate", "fed_cdp"):
+            config = quick_config("cancer", method, **partition, **BASE, **ATTACK_OVERRIDES)
+            histories[(method, partition_name)] = _run(config)
+    return histories
+
+
+# ----------------------------------------------------------------------
+# The resilience demo (the paper's qualitative claim, reproduced in-loop)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("partition_name", sorted(PARTITIONS))
+def test_fed_cdp_mse_exceeds_nonprivate_at_every_attacked_round(
+    attacked_histories, partition_name
+):
+    nonprivate = attacked_histories[("nonprivate", partition_name)]
+    fed_cdp = attacked_histories[("fed_cdp", partition_name)]
+    assert nonprivate.attacked_rounds == list(ATTACK_OVERRIDES["attack_rounds"])
+    assert fed_cdp.attacked_rounds == nonprivate.attacked_rounds
+    for round_nonprivate, round_cdp in zip(nonprivate.rounds, fed_cdp.rounds):
+        if not round_nonprivate.attacks:
+            continue
+        # both methods attack the identical cohort and probe examples (the
+        # selection stream and the attack domain depend only on the seed)
+        assert [a.client_id for a in round_nonprivate.attacks] == [
+            a.client_id for a in round_cdp.attacks
+        ]
+        mse_nonprivate = float(np.mean([a.mse for a in round_nonprivate.attacks]))
+        mse_cdp = float(np.mean([a.mse for a in round_cdp.attacks]))
+        assert mse_cdp > mse_nonprivate, (
+            f"round {round_cdp.round_index} ({partition_name}): Fed-CDP MSE "
+            f"{mse_cdp} should exceed non-private MSE {mse_nonprivate}"
+        )
+
+
+def test_attacks_land_on_scheduled_rounds_only(attacked_histories):
+    history = attacked_histories[("fed_cdp", "iid")]
+    for round_result in history.rounds:
+        expected = round_result.round_index in ATTACK_OVERRIDES["attack_rounds"]
+        assert bool(round_result.attacks) == expected
+        for record in round_result.attacks:
+            assert record.client_id in round_result.participating_clients
+            assert record.restarts == ATTACK_OVERRIDES["attack_seeds"]
+            assert 0 < record.iterations <= ATTACK_OVERRIDES["attack_iterations"]
+            assert np.isfinite(record.mse)
+
+
+def test_history_attack_summaries(attacked_histories):
+    history = attacked_histories[("fed_cdp", "iid")]
+    records = history.attack_records
+    assert len(records) == sum(len(r.attacks) for r in history.rounds)
+    assert history.mean_attack_mse == pytest.approx(np.mean([r.mse for r in records]))
+    assert 0.0 <= history.attack_success_rate <= 1.0
+    unattacked = quick_config("cancer", "fed_cdp", **BASE)
+    assert np.isnan(SimulationHistory(config=unattacked).mean_attack_mse)
+    assert np.isnan(SimulationHistory(config=unattacked).attack_success_rate)
+
+
+# ----------------------------------------------------------------------
+# The adversary is observational
+# ----------------------------------------------------------------------
+def test_attacked_run_trajectory_identical_to_unattacked(attacked_histories):
+    attacked = attacked_histories[("fed_cdp", "iid")]
+    config = quick_config("cancer", "fed_cdp", partition="iid", **BASE)
+    unattacked = _run(config)
+    assert attacked.accuracy_by_round == unattacked.accuracy_by_round
+    assert attacked.epsilon_by_round == unattacked.epsilon_by_round
+    for with_attack, without in zip(attacked.rounds, unattacked.rounds):
+        assert with_attack.selected_clients == without.selected_clients
+        assert with_attack.mean_loss == without.mean_loss
+        assert with_attack.mean_gradient_norm == without.mean_gradient_norm
+        assert without.attacks == []
+
+
+# ----------------------------------------------------------------------
+# Serial == multiprocessing, bit-identically
+# ----------------------------------------------------------------------
+def test_serial_and_multiprocessing_attack_records_identical(attacked_histories):
+    serial = attacked_histories[("fed_cdp", "iid")]
+    config = quick_config(
+        "cancer", "fed_cdp", partition="iid", **BASE, **ATTACK_OVERRIDES
+    ).with_overrides(executor="multiprocessing", num_workers=2)
+    parallel = _run(config)
+    assert parallel.attack_records == serial.attack_records
+    assert parallel.accuracy_by_round == serial.accuracy_by_round
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume mid-schedule (determinism regression)
+# ----------------------------------------------------------------------
+def test_resume_mid_schedule_replays_identical_attack_records(tmp_path, attacked_histories):
+    full = attacked_histories[("fed_cdp", "iid")]
+    config = quick_config("cancer", "fed_cdp", partition="iid", **BASE, **ATTACK_OVERRIDES)
+    checkpoint = os.path.join(tmp_path, "attacked.json")
+    with FederatedSimulation(config) as partial:
+        partial.run(rounds=2, checkpoint_path=checkpoint)
+    resumed = FederatedSimulation.from_checkpoint(checkpoint)
+    try:
+        history = resumed.run(checkpoint_path=checkpoint)
+    finally:
+        resumed.close()
+    # the attacks before AND after the interruption match the uninterrupted run
+    assert history.attack_records == full.attack_records
+    assert history.accuracy_by_round == full.accuracy_by_round
+    # and the records survive the checkpoint's strict-JSON round trip exactly
+    with open(checkpoint) as handle:
+        state = json.load(handle)
+    restored = SimulationHistory.from_dict(state["history"])
+    assert restored.attack_records == full.attack_records
+
+
+def test_skipped_rounds_are_never_attacked():
+    config = quick_config(
+        "cancer", "fed_cdp", dropout_rate=1.0, **BASE, **ATTACK_OVERRIDES
+    )
+    history = _run(config)
+    assert history.skipped_rounds == len(history.rounds)
+    assert history.attack_records == []
+
+
+def test_attack_clients_filter_is_honoured():
+    config = quick_config(
+        "cancer", "fed_cdp", partition="iid", **BASE,
+        attack="leakage", attack_rounds=(0,), attack_clients=(0, 1, 2),
+        attack_seeds=1, attack_iterations=5,
+    )
+    history = _run(config)
+    attacked = {record.client_id for record in history.attack_records}
+    assert attacked <= {0, 1, 2}
+    participants = set(history.rounds[0].participating_clients)
+    assert attacked == participants & {0, 1, 2}

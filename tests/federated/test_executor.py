@@ -20,6 +20,7 @@ from repro.federated.executor import (
     MultiprocessingClientExecutor,
     SerialClientExecutor,
     default_num_workers,
+    domain_seed_sequence,
     make_executor,
     spawn_client_seeds,
 )
@@ -75,6 +76,22 @@ def test_spawn_client_seeds_independent_of_history():
 def test_spawn_client_seeds_rejects_negative_count():
     with pytest.raises(ValueError):
         spawn_client_seeds(0, 0, -1)
+
+
+def test_domain_seed_sequence_is_the_shared_stream_root():
+    # spawn_client_seeds derives from the same keyed root every subsystem
+    # (availability, in-loop attacks) uses, so the streams coincide exactly
+    from repro.federated.executor import _CLIENT_STREAM_DOMAIN
+
+    root = domain_seed_sequence(9, _CLIENT_STREAM_DOMAIN, 4)
+    via_helper = [np.random.default_rng(s).normal() for s in root.spawn(3)]
+    via_spawn = [np.random.default_rng(s).normal() for s in spawn_client_seeds(9, 4, 3)]
+    assert via_helper == via_spawn
+    # distinct domains and keys give unrelated streams
+    a = np.random.default_rng(domain_seed_sequence(9, 1, 4)).integers(0, 2**31)
+    b = np.random.default_rng(domain_seed_sequence(9, 2, 4)).integers(0, 2**31)
+    c = np.random.default_rng(domain_seed_sequence(9, 1, 5)).integers(0, 2**31)
+    assert len({int(a), int(b), int(c)}) == 3
 
 
 def test_default_num_workers_bounds():

@@ -62,6 +62,14 @@ def golden_configs() -> Dict[str, FederatedConfig]:
         straggler_deadline=2.0,
         **base,
     )
+    # in-loop adversary cells: per-round attack MSE/PSNR locked to <= 1e-8,
+    # and (asserted separately) a training trajectory identical to the
+    # unattacked fixture of the same method — the adversary is observational
+    attack = dict(attack="leakage", attack_rounds=(0, 2), attack_seeds=2, attack_iterations=15)
+    for method in ("nonprivate", "fed_cdp"):
+        configs[f"{method}_iid_attacked"] = quick_config(
+            "cancer", method, partition="iid", **base, **attack
+        )
     return configs
 
 
@@ -72,22 +80,39 @@ def _round_trip_float(value: float):
 
 def trajectory_payload(history) -> dict:
     """The deterministic subset of a history (no wall-clock timings)."""
+    rounds = []
+    for r in history.rounds:
+        entry = {
+            "round_index": r.round_index,
+            "selected_clients": list(r.selected_clients),
+            "participating_clients": list(r.participating_clients),
+            "dropped_clients": list(r.dropped_clients),
+            "straggler_clients": list(r.straggler_clients),
+            "mean_loss": _round_trip_float(r.mean_loss),
+            "mean_gradient_norm": float(r.mean_gradient_norm),
+        }
+        if r.attacks:
+            # the key is omitted on unattacked rounds, keeping every
+            # pre-existing fixture byte-identical
+            entry["attacks"] = [
+                {
+                    "client_id": a.client_id,
+                    "mse": float(a.mse),
+                    "psnr": _round_trip_float(a.psnr) if math.isfinite(a.psnr) else None,
+                    "success": bool(a.success),
+                    "iterations": int(a.iterations),
+                    "final_loss": float(a.final_loss),
+                    "best_restart": int(a.best_restart),
+                    "restarts": int(a.restarts),
+                }
+                for a in r.attacks
+            ]
+        rounds.append(entry)
     return {
         "config": history.config.to_dict(),
         "accuracy_by_round": {str(k): float(v) for k, v in sorted(history.accuracy_by_round.items())},
         "epsilon_by_round": {str(k): float(v) for k, v in sorted(history.epsilon_by_round.items())},
-        "rounds": [
-            {
-                "round_index": r.round_index,
-                "selected_clients": list(r.selected_clients),
-                "participating_clients": list(r.participating_clients),
-                "dropped_clients": list(r.dropped_clients),
-                "straggler_clients": list(r.straggler_clients),
-                "mean_loss": _round_trip_float(r.mean_loss),
-                "mean_gradient_norm": float(r.mean_gradient_norm),
-            }
-            for r in history.rounds
-        ],
+        "rounds": rounds,
     }
 
 
@@ -155,6 +180,30 @@ def test_update_golden_is_noop_on_unchanged_tree():
     with open(os.path.join(GOLDEN_DIR, f"{name}.json")) as handle:
         committed = handle.read()
     assert _render(payload) == committed
+
+
+def test_attacked_fixtures_record_attacks_without_perturbing_training():
+    """The attacked cells carry per-round attack metrics, the adversary is
+    observational (training trajectory identical to the unattacked fixture),
+    and the fixtures lock in the paper's resilience ordering."""
+    mse = {}
+    for method in ("nonprivate", "fed_cdp"):
+        with open(os.path.join(GOLDEN_DIR, f"{method}_iid_attacked.json")) as handle:
+            attacked = json.load(handle)
+        with open(os.path.join(GOLDEN_DIR, f"{method}_iid.json")) as handle:
+            unattacked = json.load(handle)
+        attacked_rounds = [r for r in attacked["rounds"] if "attacks" in r]
+        assert [r["round_index"] for r in attacked_rounds] == [0, 2]
+        assert attacked["accuracy_by_round"] == unattacked["accuracy_by_round"]
+        for with_attack, without in zip(attacked["rounds"], unattacked["rounds"]):
+            assert with_attack["mean_loss"] == without["mean_loss"]
+            assert with_attack["mean_gradient_norm"] == without["mean_gradient_norm"]
+        mse[method] = {
+            r["round_index"]: sum(a["mse"] for a in r["attacks"]) / len(r["attacks"])
+            for r in attacked_rounds
+        }
+    for round_index, nonprivate_mse in mse["nonprivate"].items():
+        assert mse["fed_cdp"][round_index] > nonprivate_mse
 
 
 def test_flaky_fixture_exercises_availability():
