@@ -10,24 +10,27 @@ This module runs all restarts as **one batched optimisation** instead: the
 ``R`` dummy inputs are stacked into a single ``(R, *example_shape)`` batch
 and optimised jointly under the separable objective
 
-    J(x_1, ..., x_R) = sum_r  || g(x_r) - G ||_2^2
+    J(x_1, ..., x_R) = sum_r  J(x_r)
 
-where ``g(x_r)`` is restart ``r``'s per-example parameter gradient and ``G``
-the leaked target.  Because every layer treats batch rows independently, the
-per-restart gradients come out of *one* forward/backward pass via the same
-per-sample gradient rules as the PR-1 per-example engine
-(:mod:`repro.nn.perexample`): for a dense layer the per-restart weight
-gradient is the outer product of the saved input activation and the upstream
-gradient.  Here those rules are applied **inside the autodiff graph** (the
-activations and the ``create_graph=True`` upstream gradients are both graph
-nodes), so one more backward pass yields the exact input gradient of the
-whole batched objective — the restarts never interact, their gradient blocks
-are independent, and each restart's loss trajectory matches what a standalone
-single-restart optimisation of the same objective would see.
+where ``J(x_r)`` is restart ``r``'s gradient-matching loss against the leaked
+target (any objective of :mod:`repro.attacks.objectives`, including the
+cosine loss and the total-variation prior).  The engine is the batched-graph
+transform of :mod:`repro.autodiff.batched`: the *single-restart* objective —
+forward pass, ``create_graph=True`` parameter gradients, matching loss and
+its input gradient — is traced once per attack, and every L-BFGS evaluation
+replays that trace over the stacked restarts in one batched pass.  Because
+every batch rule maps restarts independently, the restarts never interact:
+their gradient blocks are exactly what ``R`` standalone optimisations would
+compute, and each restart's loss trajectory matches a single-restart run of
+the same objective.
 
-Models containing layers without a dense per-sample rule (the image CNNs),
-or non-L2 objectives, transparently fall back to a looped evaluation of the
-same joint objective — identical semantics, one forward/backward per restart.
+This replaces the PR-5 dense-rule construction, which hand-assembled
+per-restart L2 losses from ``Dense``-layer outer products and therefore
+excluded conv models, the cosine objective and the TV prior — all of which
+now run vectorized.  The looped evaluation of the same joint objective is
+kept behind the ``force_looped`` debug flag (and as the fallback for models
+outside the traceable family) and is regression-tested against the batched
+path.
 """
 
 from __future__ import annotations
@@ -38,13 +41,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
-from repro.autodiff import Tensor, grad, tsum
-from repro.nn import functional as F
-from repro.nn.layers import Dense
+from repro.autodiff import BatchedGraph, Tensor, grad, logsumexp, mul, tracing, tsum
 from repro.nn.models import Sequential
+from repro.nn.perexample import has_per_example_rules
 
 from .metrics import psnr as compute_psnr
 from .metrics import reconstruction_distance
+from .objectives import build_matching_loss
 from .reconstruction import AttackConfig, GradientReconstructionAttack
 from .seeds import make_seed
 
@@ -56,23 +59,18 @@ __all__ = [
 
 
 def supports_vectorized_restarts(model, config: AttackConfig) -> bool:
-    """Whether the batched dense-rule path applies to ``model`` and ``config``.
+    """Whether the batched-graph trace path applies to ``model`` and ``config``.
 
-    Requires a flat :class:`~repro.nn.models.Sequential` whose parameterised
-    layers are all ``Dense`` (the tabular MLPs), the paper's L2 matching
-    objective and no total-variation prior; anything else runs the looped
-    fallback with identical semantics.
+    The requirement is purely structural: a flat
+    :class:`~repro.nn.models.Sequential` whose parameterised layers are
+    traceable (the same condition as
+    :func:`repro.nn.perexample.has_per_example_rules`, i.e. ``Dense``,
+    ``Conv2D`` and parameter-free layers).  Every supported objective —
+    including the cosine loss and the total-variation prior — is composed
+    from replayable primitives, so ``config`` no longer restricts the path.
     """
-    if config.objective != "l2" or config.tv_weight > 0.0:
-        return False
-    if not isinstance(model, Sequential):
-        return False
-    for layer in model.layers:
-        if isinstance(layer, Dense):
-            continue
-        if layer.parameters():
-            return False
-    return True
+    del config  # every supported objective / prior is traceable
+    return has_per_example_rules(model)
 
 
 @dataclass
@@ -97,74 +95,74 @@ class MultiRestartResult:
     restarts: int
     #: best matching loss reached by each restart
     per_restart_losses: List[float] = field(default_factory=list)
-    #: True when the batched dense-rule path ran (False = looped fallback)
+    #: True when the batched-graph path ran (False = looped fallback)
     vectorized: bool = False
     #: label(s) the adversary used
     labels_used: Optional[np.ndarray] = None
 
 
-def _instrumented_dense_forward(model: Sequential, batch: Tensor):
-    """Forward ``batch`` keeping, per Dense layer, the input activation and
-    output *as graph tensors* (the differentiable analogue of the per-example
-    engine's instrumented forward)."""
-    x = batch
-    tape = []  # (layer, input_tensor, output_tensor)
-    for layer in model.layers:
-        if isinstance(layer, Dense):
-            xin = x if x.ndim == 2 else F.flatten(x)
-            out = F.linear(xin, layer.weight, layer.bias)
-            tape.append((layer, xin, out))
-            x = out
-        else:
-            x = layer(x)
-    return x, tape
-
-
-def _per_restart_l2_losses(tape, upstream, target_gradients: Sequence[np.ndarray]) -> Tensor:
-    """Per-restart L2 matching losses as a differentiable ``(R,)`` tensor.
-
-    Restart ``r``'s weight gradient for a dense layer is the outer product
-    ``x[r] ⊗ g[r]`` (the PR-1 per-sample rule) and its bias gradient is
-    ``g[r]`` itself; both are assembled from graph tensors, so the result is
-    differentiable with respect to the dummy inputs.
-    """
-    per_restart = None
-    target_index = 0
-    for (layer, xin, _), up in zip(tape, upstream):
-        restarts, in_features = xin.shape
-        out_features = up.shape[1]
-        target_w = np.asarray(target_gradients[target_index], dtype=np.float64)
-        target_index += 1
-        stack = xin.reshape((restarts, in_features, 1)) * up.reshape((restarts, 1, out_features))
-        diff = stack - Tensor(target_w[None])
-        term = (diff * diff).sum(axis=(1, 2))
-        per_restart = term if per_restart is None else per_restart + term
-        if layer.bias is not None:
-            target_b = np.asarray(target_gradients[target_index], dtype=np.float64)
-            target_index += 1
-            diff_b = up - Tensor(target_b[None])
-            per_restart = per_restart + (diff_b * diff_b).sum(axis=1)
-    if target_index != len(target_gradients):
-        raise ValueError(
-            f"target gradient count {len(target_gradients)} does not match the "
-            f"model's {target_index} dense parameter blocks"
-        )
-    return per_restart
-
-
 class MultiRestartReconstruction:
-    """Reconstruct one private example from R dummy seeds in one optimisation."""
+    """Reconstruct one private example from R dummy seeds in one optimisation.
 
-    def __init__(self, model: Sequential, config: Optional[AttackConfig] = None) -> None:
+    ``force_looped`` forces the looped evaluation of the joint objective even
+    for models the batched path supports — a debugging escape hatch (and the
+    reference the batched path is regression-tested against).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        config: Optional[AttackConfig] = None,
+        force_looped: bool = False,
+    ) -> None:
         self.model = model
         self.config = config if config is not None else AttackConfig()
-        # the looped fallback reuses the single-restart objective machinery,
-        # which also handles the cosine objective and the TV prior
+        self.force_looped = bool(force_looped)
+        # the looped fallback reuses the single-restart objective machinery
         self._single = GradientReconstructionAttack(model, self.config)
+        # single-slot trace cache: (key, BatchedGraph, num_classes, pinned
+        # target arrays).  The targets are baked into the graph by reference,
+        # so the key includes their identities and the cache pins them alive.
+        self._trace: Optional[tuple] = None
 
     # ------------------------------------------------------------------
-    # Joint objective: value, flat gradient and per-restart losses
+    # Batched-graph objective: trace once, replay per L-BFGS evaluation
     # ------------------------------------------------------------------
+    def _restart_trace(
+        self, example_shape: Tuple[int, ...], target_gradients: Sequence[np.ndarray]
+    ) -> Tuple[BatchedGraph, int]:
+        params = self.model.parameters()
+        key = (
+            tuple(example_shape),
+            tuple(id(g) for g in target_gradients),
+            tuple(id(p) for p in params),
+        )
+        if self._trace is not None and self._trace[0] == key:
+            return self._trace[1], self._trace[2]
+
+        dummy = Tensor(np.zeros((1,) + tuple(example_shape)), requires_grad=True)
+        with tracing():
+            logits = self.model(dummy)
+            num_classes = logits.shape[-1]
+            targets = Tensor(np.zeros((1, num_classes)))
+            # single-example cross-entropy with the one-hot label as a
+            # replayable leaf (sum == mean over a batch of one)
+            loss = tsum(logsumexp(logits, axis=-1) - tsum(mul(logits, targets), axis=-1))
+            dummy_gradients = grad(loss, params, create_graph=True)
+            matching = build_matching_loss(
+                self.config.objective,
+                dummy_gradients,
+                target_gradients,
+                dummy,
+                tv_weight=self.config.tv_weight,
+            )
+            (input_gradient,) = grad(matching, [dummy], create_graph=True)
+        graph = BatchedGraph(
+            [matching, input_gradient], {"dummy": dummy, "targets": targets}, params=params
+        )
+        self._trace = (key, graph, num_classes, list(target_gradients))
+        return graph, num_classes
+
     def _objective_vectorized(
         self,
         flat: np.ndarray,
@@ -172,19 +170,22 @@ class MultiRestartReconstruction:
         labels: np.ndarray,
         target_gradients: Sequence[np.ndarray],
     ) -> Tuple[float, np.ndarray, np.ndarray]:
-        dummies = Tensor(flat.reshape(batch_shape), requires_grad=True)
-        logits, tape = _instrumented_dense_forward(self.model, dummies)
-        # sum reduction keeps row r of every upstream gradient equal to the
-        # gradient of restart r's own loss (the per-example engine invariant)
-        loss_sum = F.cross_entropy_with_logits(logits, labels, reduction="sum")
-        upstream = grad(loss_sum, [out for _, _, out in tape], create_graph=True)
-        per_restart = _per_restart_l2_losses(tape, upstream, target_gradients)
-        total = tsum(per_restart)
-        (input_gradient,) = grad(total, [dummies])
+        restarts = batch_shape[0]
+        example_shape = tuple(batch_shape[1:])
+        graph, num_classes = self._restart_trace(example_shape, target_gradients)
+        onehot = np.zeros((restarts, num_classes), dtype=np.float64)
+        onehot[np.arange(restarts), np.asarray(labels).reshape(-1)] = 1.0
+        losses, input_gradient = graph.replay(
+            {
+                "dummy": np.asarray(flat, dtype=np.float64).reshape((restarts, 1) + example_shape),
+                "targets": onehot[:, None],
+            }
+        )
+        per_restart = np.asarray(losses, dtype=np.float64).reshape(restarts)
         return (
-            float(total.item()),
-            input_gradient.numpy().reshape(-1),
-            np.asarray(per_restart.numpy(), dtype=np.float64).reshape(-1),
+            float(per_restart.sum()),
+            np.asarray(input_gradient, dtype=np.float64).reshape(-1),
+            per_restart,
         )
 
     def _objective_looped(
@@ -257,7 +258,7 @@ class MultiRestartReconstruction:
         example_size = int(np.prod(example_shape))
         bounds = [(low, high)] * (restarts * example_size)
 
-        vectorized = supports_vectorized_restarts(self.model, config)
+        vectorized = supports_vectorized_restarts(self.model, config) and not self.force_looped
         evaluate = self._objective_vectorized if vectorized else self._objective_looped
 
         if config.objective == "l2":

@@ -11,13 +11,16 @@ reproduction.  It provides:
   support for higher-order gradients via ``create_graph=True``.
 """
 
+from .batched import BatchedGraph
 from .grad import backward, grad, topological_order
 from .ops import (
+    BATCH_RULES,
     abs_,
     add,
     broadcast_to,
     clip_values,
     crop2d,
+    detached_max,
     div,
     exp,
     index_add_last,
@@ -30,9 +33,12 @@ from .ops import (
     neg,
     pad2d,
     pow_scalar,
+    range_mask,
     relu,
+    relu_mask,
     reshape,
     sigmoid,
+    sign_of,
     softmax,
     sqrt,
     sub,
@@ -44,9 +50,11 @@ from .tensor import (
     Tensor,
     as_tensor,
     is_grad_enabled,
+    is_tracing,
     no_grad,
     ones,
     ones_like,
+    tracing,
     zeros,
     zeros_like,
 )
@@ -89,4 +97,12 @@ __all__ = [
     "index_add_last",
     "logsumexp",
     "softmax",
+    "relu_mask",
+    "sign_of",
+    "range_mask",
+    "detached_max",
+    "tracing",
+    "is_tracing",
+    "BatchedGraph",
+    "BATCH_RULES",
 ]

@@ -9,11 +9,33 @@ simply walks the graph that the first backward pass built.
 The operation set is the minimum needed by :mod:`repro.nn` (dense and
 convolutional networks with softmax cross-entropy) plus the gradient-matching
 loss used by the reconstruction attack.
+
+Two properties of this module exist for the batched-graph transform of
+:mod:`repro.autodiff.batched`:
+
+* every primitive records its static arguments (axes, shapes, paddings,
+  index arrays) via ``op_args``, and declares in :data:`BATCH_RULES` how it
+  maps over a *leading batch axis* — elementwise ops trivially, ``matmul``
+  as a batched GEMM, reductions and shape ops with their axes shifted by
+  one.  Replaying a recorded graph with these rules turns one traced
+  forward/backward into a vectorized per-example computation;
+* data-dependent constants that used to be baked into backward closures
+  (the relu mask, the abs sign, the clip mask, the logsumexp shift) are
+  expressed as the *non-differentiable primitives* :func:`relu_mask`,
+  :func:`sign_of`, :func:`range_mask` and :func:`detached_max`, so a replay
+  recomputes them from the batched values instead of replaying a stale
+  single-example constant.
+
+Backward functions also skip the gradient of any parent with
+``requires_grad=False`` (returning ``None`` in its slot) — the driver in
+:mod:`repro.autodiff.grad` discards those gradients anyway, and not
+computing them removes entire GEMMs and scatter-adds from conv backward
+passes.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,14 +60,19 @@ __all__ = [
     "tanh",
     "sigmoid",
     "relu",
+    "relu_mask",
     "abs_",
+    "sign_of",
     "clip_values",
+    "range_mask",
+    "detached_max",
     "pad2d",
     "crop2d",
     "index_select_last",
     "index_add_last",
     "logsumexp",
     "softmax",
+    "BATCH_RULES",
 ]
 
 
@@ -81,7 +108,9 @@ def add(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
 
     def backward(g: Tensor):
-        return _unbroadcast(g, a.shape), _unbroadcast(g, b.shape)
+        grad_a = _unbroadcast(g, a.shape) if a.requires_grad else None
+        grad_b = _unbroadcast(g, b.shape) if b.requires_grad else None
+        return grad_a, grad_b
 
     return Tensor._from_op(a.data + b.data, (a, b), backward, "add")
 
@@ -91,7 +120,9 @@ def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
 
     def backward(g: Tensor):
-        return _unbroadcast(g, a.shape), _unbroadcast(neg(g), b.shape)
+        grad_a = _unbroadcast(g, a.shape) if a.requires_grad else None
+        grad_b = _unbroadcast(neg(g), b.shape) if b.requires_grad else None
+        return grad_a, grad_b
 
     return Tensor._from_op(a.data - b.data, (a, b), backward, "sub")
 
@@ -111,7 +142,9 @@ def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
 
     def backward(g: Tensor):
-        return _unbroadcast(mul(g, b), a.shape), _unbroadcast(mul(g, a), b.shape)
+        grad_a = _unbroadcast(mul(g, b), a.shape) if a.requires_grad else None
+        grad_b = _unbroadcast(mul(g, a), b.shape) if b.requires_grad else None
+        return grad_a, grad_b
 
     return Tensor._from_op(a.data * b.data, (a, b), backward, "mul")
 
@@ -121,9 +154,11 @@ def div(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
 
     def backward(g: Tensor):
-        grad_a = div(g, b)
-        grad_b = neg(div(mul(g, a), mul(b, b)))
-        return _unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape)
+        grad_a = _unbroadcast(div(g, b), a.shape) if a.requires_grad else None
+        grad_b = (
+            _unbroadcast(neg(div(mul(g, a), mul(b, b))), b.shape) if b.requires_grad else None
+        )
+        return grad_a, grad_b
 
     return Tensor._from_op(a.data / b.data, (a, b), backward, "div")
 
@@ -136,7 +171,7 @@ def pow_scalar(a: ArrayLike, exponent: float) -> Tensor:
     def backward(g: Tensor):
         return (mul(g, mul(Tensor(exponent), pow_scalar(a, exponent - 1.0))),)
 
-    return Tensor._from_op(a.data ** exponent, (a,), backward, "pow")
+    return Tensor._from_op(a.data ** exponent, (a,), backward, "pow", op_args=(exponent,))
 
 
 def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -149,8 +184,8 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
         )
 
     def backward(g: Tensor):
-        grad_a = matmul(g, transpose(b, (1, 0)))
-        grad_b = matmul(transpose(a, (1, 0)), g)
+        grad_a = matmul(g, transpose(b, (1, 0))) if a.requires_grad else None
+        grad_b = matmul(transpose(a, (1, 0)), g) if b.requires_grad else None
         return grad_a, grad_b
 
     return Tensor._from_op(a.data @ b.data, (a, b), backward, "matmul")
@@ -168,6 +203,8 @@ def tsum(
     a = as_tensor(a)
     if isinstance(axis, int):
         axis = (axis,)
+    if axis is not None:
+        axis = tuple(ax % a.ndim for ax in axis)
 
     def backward(g: Tensor):
         if axis is None:
@@ -178,12 +215,15 @@ def tsum(
             else:
                 kept_shape = list(a.shape)
                 for ax in axis:
-                    kept_shape[ax % a.ndim] = 1
+                    kept_shape[ax] = 1
                 expanded = reshape(g, tuple(kept_shape))
             grad = broadcast_to(expanded, a.shape)
         return (grad,)
 
-    return Tensor._from_op(np.sum(a.data, axis=axis, keepdims=keepdims), (a,), backward, "sum")
+    return Tensor._from_op(
+        np.sum(a.data, axis=axis, keepdims=keepdims), (a,), backward, "sum",
+        op_args=(axis, keepdims),
+    )
 
 
 def mean(
@@ -211,7 +251,9 @@ def broadcast_to(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     def backward(g: Tensor):
         return (_unbroadcast(g, a.shape),)
 
-    return Tensor._from_op(np.broadcast_to(a.data, shape).copy(), (a,), backward, "broadcast_to")
+    return Tensor._from_op(
+        np.broadcast_to(a.data, shape).copy(), (a,), backward, "broadcast_to", op_args=(shape,)
+    )
 
 
 def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
@@ -222,7 +264,9 @@ def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     def backward(g: Tensor):
         return (reshape(g, a.shape),)
 
-    return Tensor._from_op(a.data.reshape(shape), (a,), backward, "reshape")
+    data = a.data.reshape(shape)
+    # the *concrete* output shape is recorded (the requested one may hold -1)
+    return Tensor._from_op(data, (a,), backward, "reshape", op_args=(data.shape,))
 
 
 def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
@@ -230,13 +274,13 @@ def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
     a = as_tensor(a)
     if axes is None:
         axes = tuple(reversed(range(a.ndim)))
-    axes = tuple(int(ax) for ax in axes)
+    axes = tuple(int(ax) % a.ndim for ax in axes)
     inverse = tuple(int(i) for i in np.argsort(axes))
 
     def backward(g: Tensor):
         return (transpose(g, inverse),)
 
-    return Tensor._from_op(np.transpose(a.data, axes), (a,), backward, "transpose")
+    return Tensor._from_op(np.transpose(a.data, axes), (a,), backward, "transpose", op_args=(axes,))
 
 
 # ----------------------------------------------------------------------
@@ -301,37 +345,89 @@ def sigmoid(a: ArrayLike) -> Tensor:
     return Tensor._from_op(_sigmoid_data(a.data), (a,), backward, "sigmoid")
 
 
+def relu_mask(a: ArrayLike) -> Tensor:
+    """The 0/1 activation mask of :func:`relu`, as a non-differentiable op.
+
+    Recomputed from ``a`` rather than baked into the relu backward closure so
+    a batched replay derives the mask from the batched pre-activations.
+    """
+    a = as_tensor(a)
+    return Tensor._from_op(
+        (a.data > 0).astype(a.data.dtype), (a,), None, "relu_mask", differentiable=False
+    )
+
+
 def relu(a: ArrayLike) -> Tensor:
     """Elementwise rectified linear unit."""
     a = as_tensor(a)
     mask = (a.data > 0).astype(a.data.dtype)
 
     def backward(g: Tensor):
-        return (mul(g, Tensor(mask)),)
+        return (mul(g, relu_mask(a)),)
 
     return Tensor._from_op(a.data * mask, (a,), backward, "relu")
+
+
+def sign_of(a: ArrayLike) -> Tensor:
+    """``sign(a)`` as a non-differentiable op (the subgradient of ``|a|``)."""
+    a = as_tensor(a)
+    return Tensor._from_op(np.sign(a.data), (a,), None, "sign", differentiable=False)
 
 
 def abs_(a: ArrayLike) -> Tensor:
     """Elementwise absolute value (subgradient 0 at the origin)."""
     a = as_tensor(a)
-    sign = np.sign(a.data)
 
     def backward(g: Tensor):
-        return (mul(g, Tensor(sign)),)
+        return (mul(g, sign_of(a)),)
 
     return Tensor._from_op(np.abs(a.data), (a,), backward, "abs")
+
+
+def range_mask(a: ArrayLike, low: float, high: float) -> Tensor:
+    """Indicator of ``low <= a <= high`` (the :func:`clip_values` pass mask)."""
+    a = as_tensor(a)
+    low, high = float(low), float(high)
+    return Tensor._from_op(
+        ((a.data >= low) & (a.data <= high)).astype(a.data.dtype),
+        (a,),
+        None,
+        "range_mask",
+        op_args=(low, high),
+        differentiable=False,
+    )
 
 
 def clip_values(a: ArrayLike, low: float, high: float) -> Tensor:
     """Clamp values into ``[low, high]``; gradient passes only inside the range."""
     a = as_tensor(a)
-    mask = ((a.data >= low) & (a.data <= high)).astype(a.data.dtype)
+    low, high = float(low), float(high)
 
     def backward(g: Tensor):
-        return (mul(g, Tensor(mask)),)
+        return (mul(g, range_mask(a, low, high)),)
 
-    return Tensor._from_op(np.clip(a.data, low, high), (a,), backward, "clip")
+    return Tensor._from_op(np.clip(a.data, low, high), (a,), backward, "clip", op_args=(low, high))
+
+
+def detached_max(a: ArrayLike, axis: int = -1, keepdims: bool = True) -> Tensor:
+    """Maximum along ``axis``, treated as a constant by differentiation.
+
+    This is the numerically-required shift of :func:`logsumexp`: the result is
+    mathematically independent of it, so blocking its gradient is exact — but
+    a batched replay must recompute it per batch row for the shifted
+    exponentials to stay in range.
+    """
+    a = as_tensor(a)
+    axis = int(axis) % a.ndim
+    keepdims = bool(keepdims)
+    return Tensor._from_op(
+        np.max(a.data, axis=axis, keepdims=keepdims),
+        (a,),
+        None,
+        "detached_max",
+        op_args=(axis, keepdims),
+        differentiable=False,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -348,7 +444,7 @@ def pad2d(a: ArrayLike, padding: int) -> Tensor:
     def backward(g: Tensor):
         return (crop2d(g, padding),)
 
-    return Tensor._from_op(np.pad(a.data, pad_width), (a,), backward, "pad2d")
+    return Tensor._from_op(np.pad(a.data, pad_width), (a,), backward, "pad2d", op_args=(padding,))
 
 
 def crop2d(a: ArrayLike, padding: int) -> Tensor:
@@ -362,7 +458,7 @@ def crop2d(a: ArrayLike, padding: int) -> Tensor:
     def backward(g: Tensor):
         return (pad2d(g, padding),)
 
-    return Tensor._from_op(a.data[sl].copy(), (a,), backward, "crop2d")
+    return Tensor._from_op(a.data[sl].copy(), (a,), backward, "crop2d", op_args=(padding,))
 
 
 def index_select_last(a: ArrayLike, indices: np.ndarray) -> Tensor:
@@ -382,41 +478,63 @@ def index_select_last(a: ArrayLike, indices: np.ndarray) -> Tensor:
     def backward(g: Tensor):
         return (index_add_last(g, indices, in_size),)
 
-    return Tensor._from_op(a.data[:, indices], (a,), backward, "index_select_last")
+    return Tensor._from_op(
+        a.data[:, indices], (a,), backward, "index_select_last", op_args=(indices,)
+    )
 
 
 # ``np.add.at`` disables ufunc buffering and dominates the convolution
 # backward pass.  Because the scatter index array is reused across calls (the
 # im2col cache returns the same object for a given geometry), we precompute a
-# sort-based scatter plan per index array and apply it with a gather plus
-# ``np.add.reduceat`` — both C-speed, buffered operations.  Entries hold a
-# strong reference to the index array, so an ``id`` can never be recycled
-# while its plan is cached.
+# gather plan per index array: a ``(size, kmax)`` table whose row ``j`` lists
+# the source positions scattering into target ``j`` (in stable source order,
+# padded with a sentinel pointing at an appended zero column).  The scatter
+# then becomes a contiguous ``np.take`` plus one innermost-axis ``sum`` —
+# both C-speed, buffered operations, unlike a sort + ``reduceat`` whose
+# segment loop dominates for many rows.  Entries hold a strong reference to
+# the index array, so an ``id`` can never be recycled while its plan is
+# cached.
 _SCATTER_PLAN_CACHE: dict = {}
 _SCATTER_PLAN_CACHE_MAX = 64
 
 
-def _scatter_plan(indices: np.ndarray):
-    """Return ``(order, starts, unique)`` such that summing ``a[:, order]``
-    over the ``starts``-delimited runs yields the scatter-add totals for the
-    distinct target positions ``unique``."""
-    key = id(indices)
+def _scatter_plan(indices: np.ndarray, size: int) -> np.ndarray:
+    """Return the padded gather table ``pos`` of shape ``(size, kmax)``.
+
+    ``pos[j]`` holds the positions ``k`` with ``indices[k] == j`` in ascending
+    ``k`` order (matching a sequential scatter-add), padded with
+    ``len(indices)`` — the index of the zero column the caller appends.
+    """
+    key = (id(indices), size)
     entry = _SCATTER_PLAN_CACHE.get(key)
     if entry is not None and entry[0] is indices:
         return entry[1]
+    length = indices.shape[0]
+    counts = np.bincount(indices, minlength=size)
+    kmax = int(counts.max()) if length else 1
     order = np.argsort(indices, kind="stable")
     sorted_indices = indices[order]
-    if sorted_indices.size:
-        starts = np.flatnonzero(
-            np.concatenate(([True], sorted_indices[1:] != sorted_indices[:-1]))
-        )
-    else:
-        starts = np.empty(0, dtype=np.int64)
-    plan = (order, starts, sorted_indices[starts])
+    segment_starts = np.concatenate(([0], np.cumsum(counts)))
+    ranks = np.arange(length) - segment_starts[sorted_indices]
+    pos = np.full((size, max(kmax, 1)), length, dtype=np.int64)
+    pos[sorted_indices, ranks] = order
     if len(_SCATTER_PLAN_CACHE) >= _SCATTER_PLAN_CACHE_MAX:
         _SCATTER_PLAN_CACHE.clear()
-    _SCATTER_PLAN_CACHE[key] = (indices, plan)
-    return plan
+    _SCATTER_PLAN_CACHE[key] = (indices, pos)
+    return pos
+
+
+def _scatter_add_2d(data: np.ndarray, indices: np.ndarray, size: int) -> np.ndarray:
+    """Row-wise scatter-add of a 2-D array via the cached gather plan."""
+    pos = _scatter_plan(indices, size)
+    rows, length = data.shape
+    extended = np.empty((rows, length + 1), dtype=data.dtype)
+    extended[:, :length] = data
+    extended[:, length] = 0.0
+    # (rows, size, kmax) contiguous gather, reduced over the innermost axis;
+    # the additions happen in the same ascending-source order a sequential
+    # scatter-add would use, followed by exact-zero padding terms.
+    return np.take(extended, pos, axis=1).sum(axis=2)
 
 
 def index_add_last(a: ArrayLike, indices: np.ndarray, size: int) -> Tensor:
@@ -426,15 +544,14 @@ def index_add_last(a: ArrayLike, indices: np.ndarray, size: int) -> Tensor:
         raise ValueError(f"index_add_last expects a 2-D tensor, got shape {a.shape}")
     indices = np.asarray(indices, dtype=np.int64)
     size = int(size)
-    order, starts, unique = _scatter_plan(indices)
-    out_data = np.zeros((a.shape[0], size), dtype=a.data.dtype)
-    if unique.size:
-        out_data[:, unique] = np.add.reduceat(a.data[:, order], starts, axis=1)
+    out_data = _scatter_add_2d(a.data, indices, size)
 
     def backward(g: Tensor):
         return (index_select_last(g, indices),)
 
-    return Tensor._from_op(out_data, (a,), backward, "index_add_last")
+    return Tensor._from_op(
+        out_data, (a,), backward, "index_add_last", op_args=(indices, size)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -443,14 +560,15 @@ def index_add_last(a: ArrayLike, indices: np.ndarray, size: int) -> Tensor:
 def logsumexp(a: ArrayLike, axis: int = -1, keepdims: bool = False) -> Tensor:
     """Numerically stable ``log(sum(exp(a)))`` along ``axis``.
 
-    The row-wise maximum is treated as a constant shift, which does not change
-    the derivative and keeps the computation differentiable to any order.
+    The row-wise maximum is a :func:`detached_max` — a constant shift as far
+    as differentiation is concerned (it does not change the derivative), but
+    a recorded graph node, so a batched replay recomputes it per row.
     """
     a = as_tensor(a)
     axis = axis % a.ndim
-    shift = np.max(a.data, axis=axis, keepdims=True)
-    shifted = sub(a, Tensor(shift))
-    out = add(log(tsum(exp(shifted), axis=axis, keepdims=True)), Tensor(shift))
+    shift = detached_max(a, axis=axis, keepdims=True)
+    shifted = sub(a, shift)
+    out = add(log(tsum(exp(shifted), axis=axis, keepdims=True)), shift)
     if not keepdims:
         new_shape = tuple(s for i, s in enumerate(a.shape) if i != axis)
         out = reshape(out, new_shape if new_shape else (1,))
@@ -463,6 +581,220 @@ def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
     axis = axis % a.ndim
     lse = logsumexp(a, axis=axis, keepdims=True)
     return exp(sub(a, lse))
+
+
+# ----------------------------------------------------------------------
+# Batch rules: how each primitive maps over a leading batch axis
+# ----------------------------------------------------------------------
+# A rule computes the replayed value of one recorded node.  ``inputs`` holds
+# one ``(array, is_batched)`` pair per recorded parent: a *batched* array has
+# an extra leading ``B`` axis prepended to the recorded shape, an unbatched
+# array has exactly the recorded shape.  ``args`` is the node's recorded
+# ``op_args`` and ``out_shape`` its recorded (single-example) output shape.
+# The replay engine marks the result batched iff any input was batched.
+_BatchRule = Callable[[tuple, tuple, Tuple[int, ...]], np.ndarray]
+
+BATCH_RULES: Dict[str, _BatchRule] = {}
+
+
+def _batch_rule(name: str):
+    def register(fn: _BatchRule) -> _BatchRule:
+        BATCH_RULES[name] = fn
+        return fn
+
+    return register
+
+
+def _align_batched(x: np.ndarray, is_batched: bool, out_ndim: int) -> np.ndarray:
+    """Insert middle axes so a batched operand broadcasts against the output.
+
+    A batched ``(B, *s)`` operand whose recorded shape ``s`` has fewer axes
+    than the recorded output must become ``(B, 1, ..., *s)`` — numpy's
+    right-alignment would otherwise line the batch axis up against a data
+    axis.  Unbatched operands right-align exactly as they did at record time.
+    """
+    if is_batched and x.ndim - 1 < out_ndim:
+        return x.reshape((x.shape[0],) + (1,) * (out_ndim - (x.ndim - 1)) + x.shape[1:])
+    return x
+
+
+def _elementwise_binary(fn):
+    def rule(args, inputs, out_shape):
+        (a, a_batched), (b, b_batched) = inputs
+        nd = len(out_shape)
+        return fn(_align_batched(a, a_batched, nd), _align_batched(b, b_batched, nd))
+
+    return rule
+
+
+def _elementwise_unary(fn):
+    def rule(args, inputs, out_shape):
+        return fn(inputs[0][0])
+
+    return rule
+
+
+BATCH_RULES["add"] = _elementwise_binary(np.add)
+BATCH_RULES["sub"] = _elementwise_binary(np.subtract)
+BATCH_RULES["mul"] = _elementwise_binary(np.multiply)
+BATCH_RULES["div"] = _elementwise_binary(np.divide)
+BATCH_RULES["neg"] = _elementwise_unary(np.negative)
+BATCH_RULES["exp"] = _elementwise_unary(np.exp)
+BATCH_RULES["log"] = _elementwise_unary(np.log)
+BATCH_RULES["sqrt"] = _elementwise_unary(np.sqrt)
+BATCH_RULES["tanh"] = _elementwise_unary(np.tanh)
+BATCH_RULES["sigmoid"] = _elementwise_unary(_sigmoid_data)
+BATCH_RULES["abs"] = _elementwise_unary(np.abs)
+BATCH_RULES["sign"] = _elementwise_unary(np.sign)
+BATCH_RULES["relu"] = _elementwise_unary(lambda x: x * (x > 0).astype(x.dtype))
+BATCH_RULES["relu_mask"] = _elementwise_unary(lambda x: (x > 0).astype(x.dtype))
+
+
+@_batch_rule("pow")
+def _pow_rule(args, inputs, out_shape):
+    return inputs[0][0] ** args[0]
+
+
+@_batch_rule("clip")
+def _clip_rule(args, inputs, out_shape):
+    return np.clip(inputs[0][0], args[0], args[1])
+
+
+@_batch_rule("range_mask")
+def _range_mask_rule(args, inputs, out_shape):
+    x = inputs[0][0]
+    low, high = args
+    return ((x >= low) & (x <= high)).astype(x.dtype)
+
+
+def _gemm_friendly(x: np.ndarray) -> np.ndarray:
+    """Return ``x`` with every batch slice in a BLAS-compatible layout.
+
+    A 3-D operand is fine as long as each ``(rows, cols)`` slice is plain or
+    transposed contiguous (dgemm handles both); only when the *batch* stride
+    is the smallest — slices interleaved element-by-element — does numpy fall
+    back to a slow buffered loop, and one bulk copy is cheaper.
+    """
+    if x.ndim != 3:
+        return x
+    strides = x.strides
+    if strides[0] >= strides[1] or strides[0] >= strides[2]:
+        return x
+    return np.ascontiguousarray(x)
+
+
+@_batch_rule("matmul")
+def _matmul_rule(args, inputs, out_shape):
+    (a, a_batched), (b, b_batched) = inputs
+    if a_batched and not b_batched:
+        # (B, N, K) @ (K, M): fold the batch axis into the row axis so the
+        # replay issues one large (B·N, K) @ (K, M) GEMM instead of B small
+        # strided products.  For recorded shape (1, K) this is bit-for-bit
+        # the (B, K) @ (K, M) GEMM an explicitly batched forward would issue.
+        batch, rows, inner = a.shape
+        if not a.flags.c_contiguous:
+            a = np.ascontiguousarray(a)
+        return np.matmul(a.reshape(batch * rows, inner), b).reshape(batch, rows, b.shape[1])
+    if a_batched and b_batched and a.shape[2] == 1:
+        # (B, N, 1) @ (B, 1, M): the per-example weight gradient of a dense
+        # layer is an outer product — each output element is one multiply with
+        # no accumulation, so a broadcast product is bit-identical to dgemm
+        # and skips numpy's per-slice batched-GEMM dispatch entirely.
+        return a * b
+    # np.matmul handles the remaining cases natively — (N, K) @ (K, M),
+    # (N, K) @ (B, K, M) and the genuinely batched (B, N, K) @ (B, K, M) —
+    # *provided* each batch slice is a BLAS-compatible 2-D matrix.  An operand
+    # whose batch axis carries the smallest stride (slices interleaved in
+    # memory) would knock every slice off the dgemm fast path, so straighten
+    # it with one bulk copy first.
+    return np.matmul(_gemm_friendly(a), _gemm_friendly(b))
+
+
+@_batch_rule("sum")
+def _sum_rule(args, inputs, out_shape):
+    x, batched = inputs[0]
+    axis, keepdims = args
+    if not batched:
+        return np.sum(x, axis=axis, keepdims=keepdims)
+    if axis is None:
+        axis = tuple(range(1, x.ndim))
+    else:
+        axis = tuple(ax + 1 for ax in axis)
+    return np.sum(x, axis=axis, keepdims=keepdims)
+
+
+@_batch_rule("detached_max")
+def _detached_max_rule(args, inputs, out_shape):
+    x, batched = inputs[0]
+    axis, keepdims = args
+    return np.max(x, axis=axis + 1 if batched else axis, keepdims=keepdims)
+
+
+@_batch_rule("broadcast_to")
+def _broadcast_to_rule(args, inputs, out_shape):
+    x, batched = inputs[0]
+    (shape,) = args
+    if not batched:
+        return np.broadcast_to(x, shape)
+    x = _align_batched(x, True, len(shape))
+    return np.broadcast_to(x, (x.shape[0],) + shape)
+
+
+@_batch_rule("reshape")
+def _reshape_rule(args, inputs, out_shape):
+    x, batched = inputs[0]
+    (shape,) = args
+    if not batched:
+        return np.reshape(x, shape)
+    return np.reshape(x, (x.shape[0],) + shape)
+
+
+@_batch_rule("transpose")
+def _transpose_rule(args, inputs, out_shape):
+    x, batched = inputs[0]
+    (axes,) = args
+    if not batched:
+        return np.transpose(x, axes)
+    return np.transpose(x, (0,) + tuple(ax + 1 for ax in axes))
+
+
+@_batch_rule("pad2d")
+def _pad2d_rule(args, inputs, out_shape):
+    x = inputs[0][0]
+    padding = args[0]
+    # the pad width is ndim-relative, so the same expression covers both the
+    # recorded (N, C, H, W) layout and the batched (B, N, C, H, W) one
+    pad_width = ((0, 0),) * (x.ndim - 2) + ((padding, padding), (padding, padding))
+    return np.pad(x, pad_width)
+
+
+@_batch_rule("crop2d")
+def _crop2d_rule(args, inputs, out_shape):
+    x = inputs[0][0]
+    padding = args[0]
+    sl = (slice(None),) * (x.ndim - 2) + (slice(padding, -padding), slice(padding, -padding))
+    return x[sl]
+
+
+@_batch_rule("index_select_last")
+def _index_select_last_rule(args, inputs, out_shape):
+    x = inputs[0][0]
+    (indices,) = args
+    # np.take (unlike ``x[..., indices]``, which lays the advanced axis
+    # outermost in the result buffer) returns a C-contiguous gather — the
+    # layout every downstream GEMM needs to stay on the BLAS fast path.
+    return np.take(x, indices, axis=-1)
+
+
+@_batch_rule("index_add_last")
+def _index_add_last_rule(args, inputs, out_shape):
+    x, batched = inputs[0]
+    indices, size = args
+    if not batched:
+        return _scatter_add_2d(x, indices, size)
+    batch, rows, cols = x.shape
+    flat = _scatter_add_2d(np.ascontiguousarray(x).reshape(batch * rows, cols), indices, size)
+    return flat.reshape(batch, rows, size)
 
 
 # ----------------------------------------------------------------------

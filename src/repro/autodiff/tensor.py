@@ -35,6 +35,8 @@ __all__ = [
     "ones_like",
     "no_grad",
     "is_grad_enabled",
+    "tracing",
+    "is_tracing",
 ]
 
 
@@ -44,10 +46,11 @@ _DEFAULT_DTYPE = np.float64
 
 
 class _GradMode(threading.local):
-    """Thread-local flag controlling whether operations record a graph."""
+    """Thread-local flags controlling whether operations record a graph."""
 
     def __init__(self) -> None:
         self.enabled = True
+        self.tracing = False
 
 
 _grad_mode = _GradMode()
@@ -56,6 +59,11 @@ _grad_mode = _GradMode()
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations currently record the autodiff graph."""
     return _grad_mode.enabled
+
+
+def is_tracing() -> bool:
+    """Return ``True`` inside a :func:`tracing` block (batched-graph capture)."""
+    return _grad_mode.tracing
 
 
 @contextlib.contextmanager
@@ -74,6 +82,25 @@ def no_grad():
         _grad_mode.enabled = previous
 
 
+@contextlib.contextmanager
+def tracing():
+    """Context manager enabling batched-graph capture.
+
+    While active, every primitive op records its parents, name and static
+    arguments on the result tensor *even when no parent requires grad*, so the
+    full forward computation (including chains hanging off non-differentiated
+    inputs, e.g. the im2col gather of a conv input) can later be replayed over
+    a leading batch axis by :mod:`repro.autodiff.batched`.  Differentiation
+    semantics are unchanged — only the recorded metadata grows.
+    """
+    previous = _grad_mode.tracing
+    _grad_mode.tracing = True
+    try:
+        yield
+    finally:
+        _grad_mode.tracing = previous
+
+
 class Tensor:
     """A numpy-backed array that participates in the autodiff graph.
 
@@ -89,7 +116,16 @@ class Tensor:
         Optional human-readable label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "name", "_parents", "_backward_fn", "_op_name")
+    __slots__ = (
+        "data",
+        "requires_grad",
+        "grad",
+        "name",
+        "_parents",
+        "_backward_fn",
+        "_op_name",
+        "_op_args",
+    )
 
     def __init__(
         self,
@@ -106,6 +142,7 @@ class Tensor:
         self._parents: Tuple[Tensor, ...] = ()
         self._backward_fn: Optional[Callable[[Tensor], Tuple[Optional[Tensor], ...]]] = None
         self._op_name: Optional[str] = None
+        self._op_args: Tuple = ()
 
     # ------------------------------------------------------------------
     # Graph construction helpers
@@ -115,20 +152,28 @@ class Tensor:
         cls,
         data: np.ndarray,
         parents: Tuple["Tensor", ...],
-        backward_fn: Callable[["Tensor"], Tuple[Optional["Tensor"], ...]],
+        backward_fn: Optional[Callable[["Tensor"], Tuple[Optional["Tensor"], ...]]],
         op_name: str,
+        op_args: Tuple = (),
+        differentiable: bool = True,
     ) -> "Tensor":
         """Create the result tensor of a primitive operation.
 
         The resulting tensor requires grad (and records the graph edge) only
         when grad mode is enabled and at least one parent requires grad.
+        Inside a :func:`tracing` block the edge (parents, op name and the op's
+        static ``op_args``) is recorded unconditionally so the computation can
+        be replayed over a batch axis; ``differentiable=False`` marks ops that
+        block gradient flow (data-dependent masks and shifts) while still
+        being replayable.
         """
-        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        requires = differentiable and is_grad_enabled() and any(p.requires_grad for p in parents)
         out = cls(data, requires_grad=requires)
-        if requires:
+        if requires or _grad_mode.tracing:
             out._parents = parents
-            out._backward_fn = backward_fn
+            out._backward_fn = backward_fn if differentiable else None
             out._op_name = op_name
+            out._op_args = op_args
         return out
 
     @property

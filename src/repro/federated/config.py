@@ -38,7 +38,11 @@ METHODS: Tuple[str, ...] = ("nonprivate", "fed_sdp", "fed_cdp", "fed_cdp_decay",
 PRIVATE_METHODS: Tuple[str, ...] = ("fed_sdp", "fed_cdp", "fed_cdp_decay")
 
 #: Client-execution backends understood by :func:`repro.federated.executor.make_executor`.
-EXECUTORS: Tuple[str, ...] = ("serial", "multiprocessing")
+#: ``fused`` is the opt-in batch-fusion backend: it stacks the selected
+#: clients' first minibatches into one batched-graph replay before running
+#: each client's local loop (see
+#: :class:`repro.federated.executor.BatchFusedClientExecutor`).
+EXECUTORS: Tuple[str, ...] = ("serial", "multiprocessing", "fused")
 
 #: Per-round client-selection schemes understood by the server.
 CLIENT_SAMPLING_SCHEMES: Tuple[str, ...] = ("fixed", "poisson")
@@ -180,7 +184,7 @@ class FederatedConfig:
     aggregation: str = "fedsgd"
 
     # ----- execution -----------------------------------------------------
-    #: client-execution backend: ``serial`` or ``multiprocessing``
+    #: client-execution backend: ``serial``, ``multiprocessing`` or ``fused``
     executor: str = "serial"
     #: worker-pool size for the multiprocessing backend (``None`` = one per
     #: participating client, capped at the machine's CPU count)

@@ -11,7 +11,10 @@ from .optim import SGD, Adam, Optimizer
 from .perexample import (
     has_per_example_rules,
     per_example_gradients,
+    per_example_gradients_batched,
     per_example_gradients_looped,
+    per_example_gradients_rules,
+    per_example_losses_and_gradients,
     stack_to_example_lists,
 )
 
@@ -42,6 +45,9 @@ __all__ = [
     "normal_init",
     "has_per_example_rules",
     "per_example_gradients",
+    "per_example_gradients_batched",
     "per_example_gradients_looped",
+    "per_example_gradients_rules",
+    "per_example_losses_and_gradients",
     "stack_to_example_lists",
 ]

@@ -24,12 +24,23 @@ Two observations make this exact rather than approximate:
   gather reuses the geometry-keyed index cache of
   :func:`repro.nn.functional._im2col_indices`.
 
-The public entry point :func:`per_example_gradients` uses the fast path when
-every parameterised layer has a rule (see :func:`has_per_example_rules`) and
+Since the batched-graph transform landed in :mod:`repro.autodiff.batched`,
+the per-layer rules are no longer the default engine: the loss-and-gradients
+computation of a *single* example is traced once (per model / example shape)
+and replayed over the whole batch with per-op batch rules — see
+:func:`per_example_gradients_batched`.  That covers ``Dense`` and ``Conv2D``
+uniformly and at full BLAS width, where the hand-written ``Conv2D`` rule used
+to stall (the conv chain's gathers and GEMMs ran per example).  The rules
+engine is kept as :func:`per_example_gradients_rules` — a second, independent
+fast implementation used by the benchmark and the equivalence suite.
+
+The public entry point :func:`per_example_gradients` uses the batched-graph
+path when every parameterised layer is traceable (see
+:func:`has_per_example_rules`; the structural requirement is the same) and
 otherwise transparently falls back to :func:`per_example_gradients_looped`,
 the one-backward-per-example reference implementation kept for layers without
-a rule and as the ground truth for the equivalence tests in
-``tests/nn/test_perexample.py``.
+a rule and as the ground truth the fast paths are regression-tested against
+in ``tests/nn/test_perexample.py``.
 
 Gradients are returned in the **stacked representation**: one
 ``(B, *param_shape)`` array per model parameter, aligned with
@@ -41,11 +52,12 @@ operates on this stack with broadcasted numpy ops — see
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import weakref
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.autodiff import Tensor, grad
+from repro.autodiff import BatchedGraph, Tensor, grad, logsumexp, mul, tracing, tsum
 
 from . import functional as F
 from .functional import _im2col_indices, conv_output_shape
@@ -55,7 +67,10 @@ from .models import Sequential
 __all__ = [
     "has_per_example_rules",
     "per_example_gradients",
+    "per_example_gradients_batched",
+    "per_example_gradients_rules",
     "per_example_gradients_looped",
+    "per_example_losses_and_gradients",
     "stack_to_example_lists",
 ]
 
@@ -138,6 +153,83 @@ def _instrumented_forward(model: Sequential, features: np.ndarray):
     return x, tape
 
 
+# ------------------------------------------------------------------
+# Batched-graph engine (default fast path)
+# ------------------------------------------------------------------
+class _PerExampleTrace:
+    """A compiled single-example loss/gradient graph plus its metadata."""
+
+    __slots__ = ("graph", "num_classes")
+
+    def __init__(self, graph: BatchedGraph, num_classes: int) -> None:
+        self.graph = graph
+        self.num_classes = num_classes
+
+
+# model -> {(example_shape, param identities) -> _PerExampleTrace}.  Keyed on
+# parameter *identities* (not values): ``Module.set_weights`` mutates
+# ``param.data`` in place on stable Tensor objects, and the compiled graph
+# reads parameter data live at replay time, so a trace survives weight
+# updates; swapping a layer out replaces the Tensor objects and retraces.
+_TRACE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _per_example_trace(model: Sequential, example_shape: Tuple[int, ...]) -> _PerExampleTrace:
+    per_model: Dict = _TRACE_CACHE.setdefault(model, {})
+    params = model.parameters()
+    key = (tuple(example_shape), tuple(id(p) for p in params))
+    trace = per_model.get(key)
+    if trace is not None:
+        return trace
+
+    x = Tensor(np.zeros((1,) + tuple(example_shape)))
+    with tracing():
+        logits = model(x)
+        num_classes = logits.shape[-1]
+        targets = Tensor(np.zeros((1, num_classes)))
+        # Cross-entropy with the one-hot target as a *batched input*: the
+        # same primitives as F.cross_entropy_with_logits, but differentiable
+        # graph capture needs the target to be a leaf we can re-feed.
+        per_example = logsumexp(logits, axis=-1) - tsum(mul(logits, targets), axis=-1)
+        loss_sum = tsum(per_example)
+        gradients = grad(loss_sum, params, create_graph=True)
+    graph = BatchedGraph(
+        list(gradients) + [per_example],
+        {"features": x, "targets": targets},
+        params=params,
+    )
+    trace = _PerExampleTrace(graph, num_classes)
+    per_model[key] = trace
+    return trace
+
+
+def per_example_gradients_batched(
+    model: Sequential, features: np.ndarray, labels: np.ndarray
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Per-example gradients and losses via the batched-graph transform.
+
+    Traces the single-example loss-and-gradients computation once (cached per
+    model and example shape), then replays it over the stacked batch — one
+    batched pass through the recorded forward *and* backward, covering every
+    traceable architecture (``Dense`` and ``Conv2D`` alike).
+
+    Returns ``(stack, losses)`` with ``losses`` of shape ``(B,)`` — the
+    individual cross-entropy of every example (callers needing the batch mean
+    take ``losses.sum() / B``; see :func:`per_example_gradients`).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    batch = features.shape[0]
+    trace = _per_example_trace(model, features.shape[1:])
+    onehot = np.zeros((batch, trace.num_classes), dtype=np.float64)
+    onehot[np.arange(batch), np.asarray(labels).reshape(-1)] = 1.0
+    outputs = trace.graph.replay(
+        {"features": features[:, None], "targets": onehot[:, None]}
+    )
+    stack = outputs[:-1]
+    losses = outputs[-1].reshape(batch)
+    return stack, losses
+
+
 def per_example_gradients(
     model: Sequential, features: np.ndarray, labels: np.ndarray
 ) -> Tuple[List[np.ndarray], float]:
@@ -145,8 +237,57 @@ def per_example_gradients(
 
     Returns ``(stack, mean_loss)`` where ``stack`` holds one
     ``(B, *param_shape)`` array per entry of ``model.parameters()``.  Uses the
-    single-backward fast path when :func:`has_per_example_rules` holds, the
+    batched-graph fast path when :func:`has_per_example_rules` holds, the
     looped reference otherwise.
+    """
+    if not has_per_example_rules(model):
+        return per_example_gradients_looped(model, features, labels)
+    features = np.asarray(features, dtype=np.float64)
+    batch = features.shape[0]
+    stack, losses = per_example_gradients_batched(model, features, labels)
+    return stack, float(np.sum(losses)) / max(batch, 1)
+
+
+def per_example_losses_and_gradients(
+    model: Sequential, features: np.ndarray, labels: np.ndarray
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Like :func:`per_example_gradients` but returning the ``(B,)`` loss
+    vector instead of its mean — the form the batch-fused executor needs to
+    recover exact per-client mean losses from a fused pass."""
+    if has_per_example_rules(model):
+        return per_example_gradients_batched(model, features, labels)
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels)
+    params = model.parameters()
+    losses = np.empty(features.shape[0], dtype=np.float64)
+    per_example: List[List[np.ndarray]] = []
+    for index in range(features.shape[0]):
+        logits = model(Tensor(features[index : index + 1]))
+        loss = F.cross_entropy_with_logits(logits, labels[index : index + 1], reduction="mean")
+        gradients = grad(loss, params)
+        per_example.append([g.numpy() for g in gradients])
+        losses[index] = float(loss.item())
+    stack = [
+        np.stack([example[layer_index] for example in per_example])
+        for layer_index in range(len(params))
+    ]
+    return stack, losses
+
+
+# ------------------------------------------------------------------
+# Per-layer rules engine (PR-1 design, kept as an independent fast path)
+# ------------------------------------------------------------------
+def per_example_gradients_rules(
+    model: Sequential, features: np.ndarray, labels: np.ndarray
+) -> Tuple[List[np.ndarray], float]:
+    """Per-example gradients via the hand-written per-layer rules.
+
+    One full-batch forward/backward plus per-layer contractions
+    (:func:`_dense_rule`, :func:`_conv2d_rule`).  Superseded as the default by
+    :func:`per_example_gradients_batched` but kept as an independently
+    derived fast implementation: the three-way benchmark and the equivalence
+    tests cross-check all engines against each other.  Falls back to the
+    looped reference when :func:`has_per_example_rules` does not hold.
     """
     if not has_per_example_rules(model):
         return per_example_gradients_looped(model, features, labels)

@@ -38,13 +38,26 @@ def _restart_seeds(count, entropy=7):
 
 
 def test_supports_vectorized_restarts_detection():
+    """Since the batched-graph transform the check is purely structural:
+    conv models, the cosine objective and the TV prior all run vectorized."""
     dense_model, *_ = _mlp_and_target()
     cnn_model = build_model_for_dataset(get_dataset_spec("mnist"), seed=0, scale=0.25)
     l2 = AttackConfig(max_iterations=5)
     assert supports_vectorized_restarts(dense_model, l2)
-    assert not supports_vectorized_restarts(cnn_model, l2)
-    assert not supports_vectorized_restarts(dense_model, AttackConfig(max_iterations=5, objective="cosine"))
-    assert not supports_vectorized_restarts(dense_model, AttackConfig(max_iterations=5, tv_weight=0.1))
+    assert supports_vectorized_restarts(cnn_model, l2)
+    assert supports_vectorized_restarts(dense_model, AttackConfig(max_iterations=5, objective="cosine"))
+    assert supports_vectorized_restarts(cnn_model, AttackConfig(max_iterations=5, tv_weight=0.1))
+
+    class _Opaque:
+        def parameters(self):
+            return [object()]
+
+        def __call__(self, x):  # pragma: no cover - never invoked
+            return x
+
+    opaque = build_tabular_mlp(4, 2, hidden_sizes=(3,), seed=0)
+    opaque.layers.append(_Opaque())
+    assert not supports_vectorized_restarts(opaque, l2)
 
 
 def test_vectorized_objective_matches_looped_reference():
@@ -119,15 +132,63 @@ def test_noisy_gradient_defeats_the_batched_attack():
     assert result.reconstruction_distance > 0.1
 
 
-def test_looped_fallback_runs_on_cnn_models():
+def _cnn_and_target(scale=0.25, seed=0):
     spec = get_dataset_spec("mnist")
-    model = build_model_for_dataset(spec, seed=0, scale=0.25)
-    data = generate_dataset(spec, 2, seed=0)
+    model = build_model_for_dataset(spec, seed=seed, scale=scale)
+    data = generate_dataset(spec, 2, seed=seed)
     x = data.features[:1]
     y = data.labels[:1]
     loss_fn = CrossEntropyLoss()
     target = [g.numpy() for g in grad(loss_fn(model(Tensor(x)), y), model.parameters())]
+    return model, x, y, target
+
+
+def test_cnn_models_run_vectorized():
+    model, x, y, target = _cnn_and_target()
     attack = MultiRestartReconstruction(model, AttackConfig(max_iterations=4))
+    result = attack.run(target, x.shape[1:], _restart_seeds(2), ground_truth=x[0], labels=y)
+    assert result.vectorized
+    assert result.restarts == 2
+    assert result.reconstruction.shape == x.shape[1:]
+    assert np.isfinite(result.reconstruction_distance)
+
+
+def test_cnn_vectorized_objective_matches_looped_reference():
+    model, x, y, target = _cnn_and_target()
+    attack = MultiRestartReconstruction(model, AttackConfig(max_iterations=4))
+    restarts = 2
+    batch_shape = (restarts,) + x.shape[1:]
+    labels = np.broadcast_to(y, (restarts,))
+    rng = np.random.default_rng(9)
+    flat = rng.uniform(0.0, 1.0, size=int(np.prod(batch_shape)))
+
+    value_v, grad_v, per_v = attack._objective_vectorized(flat, batch_shape, labels, target)
+    value_l, grad_l, per_l = attack._objective_looped(flat, batch_shape, labels, target)
+    assert value_v == pytest.approx(value_l, rel=1e-9, abs=1e-10)
+    np.testing.assert_allclose(per_v, per_l, rtol=1e-9, atol=1e-10)
+    np.testing.assert_allclose(grad_v, grad_l, rtol=1e-7, atol=1e-9)
+
+
+def test_cosine_tv_objective_matches_looped_reference():
+    model, x, y, target = _cnn_and_target()
+    config = AttackConfig(max_iterations=4, objective="cosine", tv_weight=0.05)
+    attack = MultiRestartReconstruction(model, config)
+    restarts = 2
+    batch_shape = (restarts,) + x.shape[1:]
+    labels = np.broadcast_to(y, (restarts,))
+    rng = np.random.default_rng(10)
+    flat = rng.uniform(0.0, 1.0, size=int(np.prod(batch_shape)))
+
+    value_v, grad_v, per_v = attack._objective_vectorized(flat, batch_shape, labels, target)
+    value_l, grad_l, per_l = attack._objective_looped(flat, batch_shape, labels, target)
+    assert value_v == pytest.approx(value_l, rel=1e-9, abs=1e-10)
+    np.testing.assert_allclose(per_v, per_l, rtol=1e-9, atol=1e-10)
+    np.testing.assert_allclose(grad_v, grad_l, rtol=1e-7, atol=1e-9)
+
+
+def test_force_looped_debug_flag():
+    model, x, y, target = _cnn_and_target()
+    attack = MultiRestartReconstruction(model, AttackConfig(max_iterations=4), force_looped=True)
     result = attack.run(target, x.shape[1:], _restart_seeds(2), ground_truth=x[0], labels=y)
     assert not result.vectorized
     assert result.restarts == 2

@@ -1,0 +1,249 @@
+"""Property and unit tests for the batched-graph transform.
+
+The invariant under test is the vmap contract of
+:class:`repro.autodiff.batched.BatchedGraph`: for *any* recorded graph built
+from ops with batch rules, slice ``b`` of every replayed output equals what
+the recorded computation produces when run directly on example ``b`` alone —
+including the backward pass recorded under ``create_graph=True``.  Hypothesis
+drives randomly composed op pipelines through trace/replay; deterministic
+tests pin down the edge cases (batch of one, changing batch sizes between
+replays, chunked replay, non-batched outputs, and the compile-time
+validation errors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import (
+    BatchedGraph,
+    Tensor,
+    abs_,
+    clip_values,
+    grad,
+    logsumexp,
+    matmul,
+    mul,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+    tracing,
+    tsum,
+)
+
+ATOL = 1e-10
+
+#: op pool for the random pipelines: name -> (needs_weight, apply(x, weight))
+_PIPELINE_OPS = {
+    "relu": (False, lambda x, w: relu(x)),
+    "tanh": (False, lambda x, w: tanh(x)),
+    "sigmoid": (False, lambda x, w: sigmoid(x)),
+    "abs": (False, lambda x, w: abs_(x)),
+    "clip": (False, lambda x, w: clip_values(x, -0.5, 0.5)),
+    "square": (False, lambda x, w: mul(x, x)),
+    "softmax": (False, lambda x, w: softmax(x, axis=-1)),
+    "logsumexp": (False, lambda x, w: logsumexp(x, axis=-1).reshape((1, 1))),
+    "matmul": (True, lambda x, w: matmul(x, w)),
+    "affine": (True, lambda x, w: matmul(x, w) + Tensor(0.25)),
+}
+
+
+def _build_program(op_names, width, rng):
+    """Materialise a random pipeline: per-op weights plus an apply function."""
+    weights = []
+    current = width
+    plan = []
+    for name in op_names:
+        needs_weight, fn = _PIPELINE_OPS[name]
+        if needs_weight:
+            out_width = int(rng.integers(2, 5))
+            weight = Tensor(
+                rng.normal(scale=0.7, size=(current, out_width)), requires_grad=True
+            )
+            weights.append(weight)
+            plan.append((fn, weight))
+            current = out_width
+        else:
+            plan.append((fn, None))
+            if name == "logsumexp":
+                current = 1
+
+    def apply(x: Tensor) -> Tensor:
+        for fn, weight in plan:
+            x = fn(x, weight)
+        # squared sum keeps the parameter gradients non-trivial
+        return tsum(mul(x, x))
+
+    return apply, weights
+
+
+def _trace(apply, weights, width):
+    x = Tensor(np.zeros((1, width)))
+    with tracing():
+        loss = apply(x)
+        outputs = list(grad(loss, weights, create_graph=True)) if weights else []
+        outputs.append(loss)
+    return BatchedGraph(outputs, {"x": x}, params=weights), outputs
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    op_names=st.lists(st.sampled_from(sorted(_PIPELINE_OPS)), min_size=1, max_size=5),
+    width=st.integers(2, 5),
+    batch=st.integers(1, 6),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_random_graphs_replay_rowwise(op_names, width, batch, seed):
+    """Replay over B rows == the recorded computation run per row (loss,
+    parameter gradients and all), for randomly composed op pipelines."""
+    rng = np.random.default_rng(seed)
+    apply, weights = _build_program(op_names, width, rng)
+    graph, _ = _trace(apply, weights, width)
+
+    feeds = rng.normal(size=(batch, 1, width))
+    outs = graph.replay({"x": feeds})
+
+    assert outs[-1].shape == (batch,)
+    for index in range(batch):
+        example = Tensor(feeds[index])
+        loss = apply(example)
+        assert outs[-1][index] == pytest.approx(float(loss.item()), abs=ATOL)
+        if weights:
+            reference = grad(loss, weights)
+            for out, ref, weight in zip(outs, reference, weights):
+                assert out.shape == (batch,) + weight.shape
+                np.testing.assert_allclose(out[index], ref.numpy(), atol=ATOL, rtol=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    op_names=st.lists(st.sampled_from(sorted(_PIPELINE_OPS)), min_size=1, max_size=4),
+    width=st.integers(2, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_batch_of_one_equals_direct_evaluation(op_names, width, seed):
+    rng = np.random.default_rng(seed)
+    apply, weights = _build_program(op_names, width, rng)
+    graph, _ = _trace(apply, weights, width)
+    feed = rng.normal(size=(1, 1, width))
+    outs = graph.replay({"x": feed})
+    assert outs[-1].shape == (1,)
+    assert outs[-1][0] == pytest.approx(float(apply(Tensor(feed[0])).item()), abs=ATOL)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    op_names=st.lists(st.sampled_from(sorted(_PIPELINE_OPS)), min_size=1, max_size=4),
+    width=st.integers(2, 4),
+    seed=st.integers(0, 2**31 - 1),
+    sizes=st.lists(st.integers(1, 7), min_size=2, max_size=3),
+)
+def test_ragged_batch_sizes_reuse_one_compiled_graph(op_names, width, seed, sizes):
+    """One compiled graph replays correctly across different batch sizes, and
+    each row's result is independent of the batch it rode in with."""
+    rng = np.random.default_rng(seed)
+    apply, weights = _build_program(op_names, width, rng)
+    graph, _ = _trace(apply, weights, width)
+
+    pool = rng.normal(size=(max(sizes), 1, width))
+    reference = graph.replay({"x": pool})[-1]
+    for size in sizes:
+        outs = graph.replay({"x": pool[:size]})
+        assert outs[-1].shape == (size,)
+        np.testing.assert_allclose(outs[-1], reference[:size], atol=ATOL, rtol=0)
+
+
+def test_chunked_replay_matches_full_width():
+    rng = np.random.default_rng(5)
+    apply, weights = _build_program(["matmul", "relu", "affine"], 4, rng)
+    graph, _ = _trace(apply, weights, 4)
+    feeds = rng.normal(size=(11, 1, 4))
+    full = graph.replay({"x": feeds}, chunk=11)
+    for chunk in (1, 2, 3, 8):
+        chunked = graph.replay({"x": feeds}, chunk=chunk)
+        for a, b in zip(full, chunked):
+            np.testing.assert_allclose(a, b, atol=1e-12, rtol=0)
+
+
+def test_auto_chunk_is_bounded_and_disabled_for_tiny_traces():
+    rng = np.random.default_rng(6)
+    apply, weights = _build_program(["matmul"], 3, rng)
+    graph, _ = _trace(apply, weights, 3)
+    # a couple of float64 intermediates per example: far below the 64MB
+    # target, so the auto chunk must be the full batch (single exact pass)
+    assert graph.bytes_per_example > 0
+    assert graph._auto_chunk(32) == 32
+    huge = graph._CHUNK_TARGET_BYTES // graph.bytes_per_example + 1000
+    assert graph._auto_chunk(huge) < huge
+    assert graph._auto_chunk(huge) >= graph._CHUNK_MIN
+
+
+def test_outputs_not_reached_by_batched_inputs_stay_unbatched():
+    weight = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+    x = Tensor(np.zeros((1, 2)))
+    with tracing():
+        batched_out = tsum(matmul(x, weight))
+        const_out = tsum(mul(weight, weight))
+    graph = BatchedGraph([batched_out, const_out], {"x": x}, params=[weight])
+    assert graph.output_batched == [True, False]
+    outs = graph.replay({"x": np.ones((4, 1, 2))})
+    assert outs[0].shape == (4,)
+    # the unbatched output is the plain recorded value, computed once
+    assert outs[1].shape == ()
+    assert outs[1] == pytest.approx(float(np.sum(np.arange(6.0) ** 2)))
+
+
+def test_param_values_are_read_live_at_replay_time():
+    weight = Tensor(np.ones((3, 2)), requires_grad=True)
+    x = Tensor(np.zeros((1, 3)))
+    with tracing():
+        out = tsum(matmul(x, weight))
+    graph = BatchedGraph([out], {"x": x}, params=[weight])
+    feed = np.ones((2, 1, 3))
+    before = graph.replay({"x": feed})[0]
+    weight.data = weight.data * 2.0
+    after = graph.replay({"x": feed})[0]
+    np.testing.assert_allclose(after, 2.0 * before)
+
+
+def test_compile_and_replay_validation_errors():
+    weight = Tensor(np.ones((2, 2)), requires_grad=True)
+    x = Tensor(np.zeros((1, 2)))
+    with tracing():
+        out = tsum(matmul(x, weight))
+
+    with pytest.raises(ValueError, match="at least one output"):
+        BatchedGraph([], {"x": x})
+    with pytest.raises(ValueError, match="at least one batched input"):
+        BatchedGraph([out], {})
+    with pytest.raises(ValueError, match="not a leaf"):
+        BatchedGraph([out], {"mid": out})
+
+    graph = BatchedGraph([out], {"x": x}, params=[weight])
+    with pytest.raises(ValueError, match="expected"):
+        graph.replay({"x": np.zeros((4, 1, 3))})  # wrong trailing shape
+    with pytest.raises(KeyError):
+        graph.replay({})
+
+    y = Tensor(np.zeros((1, 2)))
+    with tracing():
+        both = tsum(mul(x, y))
+    two_inputs = BatchedGraph([both], {"x": x, "y": y})
+    with pytest.raises(ValueError, match="same leading batch size"):
+        two_inputs.replay({"x": np.zeros((3, 1, 2)), "y": np.zeros((4, 1, 2))})
+
+
+def test_missing_batch_rule_is_a_compile_time_error(monkeypatch):
+    from repro.autodiff import ops as ops_module
+
+    weight = Tensor(np.ones((2, 2)), requires_grad=True)
+    x = Tensor(np.zeros((1, 2)))
+    with tracing():
+        out = tsum(matmul(x, weight))
+    monkeypatch.delitem(ops_module.BATCH_RULES, "matmul")
+    with pytest.raises(ValueError, match="declares no batch rule"):
+        BatchedGraph([out], {"x": x}, params=[weight])

@@ -17,6 +17,7 @@ import pytest
 from repro.experiments.harness import quick_config
 from repro.federated import FederatedSimulation
 from repro.federated.executor import (
+    BatchFusedClientExecutor,
     MultiprocessingClientExecutor,
     SerialClientExecutor,
     default_num_workers,
@@ -154,6 +155,119 @@ def test_multiprocessing_final_weights_match_serial():
         parallel_sim.run()
     for w_serial, w_parallel in zip(serial_sim.global_weights(), parallel_sim.global_weights()):
         np.testing.assert_array_equal(w_serial, w_parallel)
+
+
+# ----------------------------------------------------------------------
+# Conv-model attacked cell: the batched-graph engine drives both Fed-CDP's
+# per-example clipping and the in-loop attack, and neither breaks the
+# serial / multiprocessing / resume bit-identity contract
+# ----------------------------------------------------------------------
+def _mnist_attacked_config(**overrides):
+    """The golden ``fed_cdp_mnist_attacked`` scenario (CNN + in-loop attack)."""
+    config = quick_config(
+        "mnist",
+        "fed_cdp",
+        partition="iid",
+        rounds=2,
+        eval_every=1,
+        seed=1234,
+        attack="leakage",
+        attack_rounds=(0, 1),
+        attack_seeds=2,
+        attack_iterations=10,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _attack_metrics(history):
+    return [
+        [(a.client_id, a.mse, a.final_loss, a.best_restart, a.success) for a in r.attacks]
+        for r in history.rounds
+    ]
+
+
+def test_cnn_attacked_serial_and_multiprocessing_bit_identical():
+    config = _mnist_attacked_config()
+    serial = _run(config)
+    parallel = _run(config.with_overrides(executor="multiprocessing", num_workers=2))
+    _assert_histories_equal(serial, parallel)
+    assert [r.mean_loss for r in serial.rounds] == [r.mean_loss for r in parallel.rounds]
+    assert list(serial.gradient_norm_series) == list(parallel.gradient_norm_series)
+    assert _attack_metrics(serial) == _attack_metrics(parallel)
+
+
+def test_cnn_attacked_checkpoint_resume_bit_identical(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    config = _mnist_attacked_config()
+    uninterrupted = _run(config)
+
+    FederatedSimulation(config).run(rounds=1, checkpoint_path=checkpoint)
+    resumed = FederatedSimulation.from_checkpoint(checkpoint).run()
+
+    _assert_histories_equal(uninterrupted, resumed)
+    assert [r.mean_loss for r in uninterrupted.rounds] == [r.mean_loss for r in resumed.rounds]
+    assert _attack_metrics(uninterrupted) == _attack_metrics(resumed)
+
+
+# ----------------------------------------------------------------------
+# Batch-fused executor (opt-in)
+# ----------------------------------------------------------------------
+def test_make_executor_selects_fused_backend():
+    config = quick_config("cancer", "fed_cdp", executor="fused")
+    simulation = FederatedSimulation(config)
+    assert isinstance(
+        make_executor(config, simulation.clients, simulation.shards), BatchFusedClientExecutor
+    )
+
+
+def test_fused_matches_serial_bitwise_on_mlp():
+    config = quick_config("cancer", "fed_cdp", rounds=3, eval_every=1, seed=21)
+    serial = _run(config)
+    fused = _run(config.with_overrides(executor="fused"))
+    _assert_histories_equal(serial, fused)
+    # the MLP trace replays through the identical GEMMs, so fusion is
+    # literally bit-identical, not merely <= 1e-8
+    assert [r.mean_loss for r in serial.rounds] == [r.mean_loss for r in fused.rounds]
+    assert list(serial.gradient_norm_series) == list(fused.gradient_norm_series)
+    assert serial.accuracy_by_round == fused.accuracy_by_round
+
+
+def test_fused_matches_serial_on_cnn():
+    # conv traces fold (B*rows, K) GEMMs whose BLAS blocking depends on the
+    # fused width, so equality here is to the 1e-8 contract rather than
+    # bitwise (observed differences are at machine epsilon)
+    config = quick_config("mnist", "fed_cdp", rounds=2, eval_every=1, seed=22)
+    serial = _run(config)
+    fused = _run(config.with_overrides(executor="fused"))
+    _assert_histories_equal(serial, fused)
+    np.testing.assert_allclose(
+        [r.mean_loss for r in serial.rounds], [r.mean_loss for r in fused.rounds], rtol=1e-12
+    )
+
+
+def test_fused_executor_handles_nonfusable_trainers():
+    # nonprivate trainers never opt into fusion: the fused backend must fall
+    # back to the plain serial path and reproduce it exactly
+    config = quick_config("cancer", "nonprivate", rounds=2, eval_every=1, seed=23)
+    serial = _run(config)
+    fused = _run(config.with_overrides(executor="fused"))
+    _assert_histories_equal(serial, fused)
+    assert [r.mean_loss for r in serial.rounds] == [r.mean_loss for r in fused.rounds]
+
+
+def test_fused_matches_serial_under_looped_mode_opt_out():
+    # forcing the looped engine turns supports_batch_fusion off; the fused
+    # backend then runs every client down the unprimed path
+    config = quick_config("cancer", "fed_cdp", rounds=2, eval_every=1, seed=24)
+    with FederatedSimulation(config) as serial_sim:
+        serial_sim.trainer.per_example_mode = "looped"
+        serial = serial_sim.run()
+    with FederatedSimulation(config.with_overrides(executor="fused")) as fused_sim:
+        fused_sim.trainer.per_example_mode = "looped"
+        assert not fused_sim.trainer.supports_batch_fusion()
+        fused = fused_sim.run()
+    _assert_histories_equal(serial, fused)
+    assert [r.mean_loss for r in serial.rounds] == [r.mean_loss for r in fused.rounds]
 
 
 # ----------------------------------------------------------------------

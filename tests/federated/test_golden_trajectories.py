@@ -70,6 +70,22 @@ def golden_configs() -> Dict[str, FederatedConfig]:
         configs[f"{method}_iid_attacked"] = quick_config(
             "cancer", method, partition="iid", **base, **attack
         )
+    # conv-model cell: Fed-CDP per-example clipping AND the in-loop attack
+    # both run through the batched-graph engine on a CNN (mnist quick scale);
+    # its serial / multiprocessing / resume bit-identity is asserted in
+    # tests/federated/test_executor.py
+    configs["fed_cdp_mnist_attacked"] = quick_config(
+        "mnist",
+        "fed_cdp",
+        partition="iid",
+        rounds=2,
+        eval_every=1,
+        seed=1234,
+        attack="leakage",
+        attack_rounds=(0, 1),
+        attack_seeds=2,
+        attack_iterations=10,
+    )
     return configs
 
 

@@ -1,10 +1,12 @@
-"""Equivalence regression tests for the vectorized per-example gradient engine.
+"""Equivalence regression tests for the fast per-example gradient engines.
 
-The fast path of :mod:`repro.nn.perexample` must be numerically
-indistinguishable (within 1e-8; in practice machine epsilon) from the
-one-backward-per-example looped reference — for raw gradients, after
-vectorized clipping, and after seeded Gaussian noise, whose RNG stream must
-match the looped draw order exactly.
+All fast paths of :mod:`repro.nn.perexample` — the batched-graph default
+(:func:`per_example_gradients_batched`) and the hand-written per-layer rules
+(:func:`per_example_gradients_rules`) — must be numerically indistinguishable
+(within 1e-8; in practice machine epsilon) from the one-backward-per-example
+looped reference — for raw gradients, after vectorized clipping, and after
+seeded Gaussian noise, whose RNG stream must match the looped draw order
+exactly.
 """
 
 from __future__ import annotations
@@ -22,7 +24,10 @@ from repro.nn import (
     build_tabular_mlp,
     has_per_example_rules,
     per_example_gradients,
+    per_example_gradients_batched,
     per_example_gradients_looped,
+    per_example_gradients_rules,
+    per_example_losses_and_gradients,
     stack_to_example_lists,
 )
 from repro.privacy import GaussianMechanism
@@ -54,16 +59,60 @@ def cnn_batch(rng):
 
 
 @pytest.mark.parametrize("setup", ["mlp_batch", "cnn_batch"])
-def test_vectorized_matches_looped(setup, request):
+@pytest.mark.parametrize("engine", [per_example_gradients, per_example_gradients_rules])
+def test_fast_engines_match_looped(engine, setup, request):
     model, features, labels = request.getfixturevalue(setup)
     assert has_per_example_rules(model)
-    fast, fast_loss = per_example_gradients(model, features, labels)
+    fast, fast_loss = engine(model, features, labels)
     ref, ref_loss = per_example_gradients_looped(model, features, labels)
     assert fast_loss == pytest.approx(ref_loss, abs=ATOL)
     assert len(fast) == len(model.parameters())
     for fast_layer, ref_layer, param in zip(fast, ref, model.parameters()):
         assert fast_layer.shape == (features.shape[0],) + param.shape
         np.testing.assert_allclose(fast_layer, ref_layer, atol=ATOL, rtol=0)
+
+
+@pytest.mark.parametrize("setup", ["mlp_batch", "cnn_batch"])
+def test_batched_engine_losses_match_looped_per_example(setup, request):
+    """The batched engine also exposes the (B,) per-example loss vector."""
+    model, features, labels = request.getfixturevalue(setup)
+    stack, losses = per_example_gradients_batched(model, features, labels)
+    assert losses.shape == (features.shape[0],)
+    for index in range(features.shape[0]):
+        _, solo_loss = per_example_gradients_looped(
+            model, features[index : index + 1], labels[index : index + 1]
+        )
+        assert losses[index] == pytest.approx(solo_loss, abs=ATOL)
+    # the dispatcher's mean is the sum of the per-example losses
+    _, mean_loss = per_example_gradients(model, features, labels)
+    assert mean_loss == pytest.approx(float(losses.sum()) / features.shape[0], abs=0)
+
+
+def test_losses_and_gradients_fallback_without_rules(rng):
+    model = Sequential([Dense(6, 5, rng=np.random.default_rng(0)), ReLU(), _OpaqueLayer()])
+    features = rng.normal(size=(4, 6))
+    labels = rng.integers(0, 5, size=4)
+    stack, losses = per_example_losses_and_gradients(model, features, labels)
+    ref_stack, ref_loss = per_example_gradients_looped(model, features, labels)
+    assert float(losses.sum()) / 4 == pytest.approx(ref_loss, abs=ATOL)
+    for layer, ref_layer in zip(stack, ref_stack):
+        np.testing.assert_array_equal(layer, ref_layer)
+
+
+def test_batched_trace_survives_weight_updates(mlp_batch):
+    """set_weights mutates parameter data in place; the cached trace must
+    read the *new* values on the next replay."""
+    model, features, labels = mlp_batch
+    stack_before, _ = per_example_gradients_batched(model, features, labels)
+    perturbed = [w + 0.05 for w in model.get_weights()]
+    model.set_weights(perturbed)
+    stack_after, _ = per_example_gradients_batched(model, features, labels)
+    ref_after, _ = per_example_gradients_looped(model, features, labels)
+    assert any(
+        not np.array_equal(before, after) for before, after in zip(stack_before, stack_after)
+    )
+    for layer, ref_layer in zip(stack_after, ref_after):
+        np.testing.assert_allclose(layer, ref_layer, atol=ATOL, rtol=0)
 
 
 def test_stack_averages_to_batch_gradient(mlp_batch):
