@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Benchmark-regression gate: compare BENCH_perexample.json against committed floors.
+"""Benchmark-regression gate: compare benchmark JSON against committed floors.
 
 Run after ``benchmarks/bench_perexample.py`` (any sweep size)::
 
@@ -11,6 +11,12 @@ Exits non-zero when the vectorized/looped speedup drops below the floors in
 push.  The floors are deliberately conservative relative to the measured
 speedups so shared CI runners don't flake; tighten them when the hot path
 gets faster.
+
+When a ``BENCH_scale.json`` from ``benchmarks/bench_scale.py`` is present
+(or named via ``--scale-bench``), the cross-device scaling floors are gated
+as well: the 1M-client cell must clear the committed rounds/sec floor and
+stay under the peak-RSS ceiling — the guard against an accidental O(K)
+per-round cost or eager population materialisation creeping back in.
 """
 
 from __future__ import annotations
@@ -40,6 +46,11 @@ def main() -> int:
         "--bench", default="BENCH_perexample.json", help="benchmark JSON produced by bench_perexample.py"
     )
     parser.add_argument(
+        "--scale-bench",
+        default="BENCH_scale.json",
+        help="benchmark JSON produced by bench_scale.py (skipped when absent)",
+    )
+    parser.add_argument(
         "--thresholds",
         default=os.path.join(HERE, "thresholds.json"),
         help="committed thresholds file",
@@ -49,7 +60,8 @@ def main() -> int:
     with open(args.bench) as handle:
         bench = json.load(handle)
     with open(args.thresholds) as handle:
-        thresholds = json.load(handle)["per_example"]
+        all_thresholds = json.load(handle)
+    thresholds = all_thresholds["per_example"]
 
     results = bench["results"]
     checks = [
@@ -74,10 +86,41 @@ def main() -> int:
         if measured < floor:
             failed = True
 
+    if os.path.exists(args.scale_bench):
+        scale_thresholds = all_thresholds["scale"]
+        with open(args.scale_bench) as handle:
+            scale_rows = json.load(handle)["results"]
+        try:
+            cell = next(r for r in scale_rows if r["num_clients"] == 1_000_000)
+        except StopIteration:
+            raise SystemExit(f"no 1M-client cell in {args.scale_bench}")
+        scale_checks = [
+            (
+                "1M-client rounds/sec", cell["rounds_per_sec"],
+                scale_thresholds["min_rounds_per_sec_1m"], "rounds/sec", True,
+            ),
+            (
+                "1M-client peak RSS", cell["peak_rss_mb"],
+                scale_thresholds["max_peak_rss_mb_1m"], "MB", False,
+            ),
+        ]
+        for label, measured, bound, unit, is_floor in scale_checks:
+            ok = measured >= bound if is_floor else measured <= bound
+            status = "OK " if ok else "FAIL"
+            bound_kind = "floor" if is_floor else "ceiling"
+            print(
+                f"[check_regression] {status} {label}: measured {measured:.2f} {unit}, "
+                f"{bound_kind} {bound:.2f} {unit}"
+            )
+            if not ok:
+                failed = True
+    else:
+        print(f"[check_regression] {args.scale_bench} absent; skipping scale floors")
+
     if failed:
         print("[check_regression] benchmark regression detected", file=sys.stderr)
         return 1
-    print("[check_regression] all speedup floors hold")
+    print("[check_regression] all benchmark floors hold")
     return 0
 
 

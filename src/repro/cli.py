@@ -29,6 +29,8 @@ Examples::
     python -m repro run --partition dirichlet --dirichlet-alpha 0.1 --dropout 0.3
     python -m repro run --partition quantity_skew --accountant heterogeneous --epsilon-budget 1.0
     python -m repro run --dataset cancer --attack leakage --attack-rounds every_2
+    python -m repro run --clients 1000000 --participation 0.00001 \
+        --client-sampling poisson --history-spool rounds.jsonl
     python -m repro tables 1 6
     python -m repro figures 3
     python -m repro scenarios --methods nonprivate fed_cdp --dataset mnist
@@ -52,6 +54,7 @@ from repro.federated.config import (
     ACCOUNTANT_NAMES,
     ATTACK_KINDS,
     CLIENT_SAMPLING_SCHEMES,
+    CLIENT_STATE_MODES,
     EXECUTORS,
     METHODS,
     FederatedConfig,
@@ -176,6 +179,8 @@ def _config_from_args(args: argparse.Namespace) -> tuple:
         "eval_every": args.eval_every,
         "executor": args.executor,
         "num_workers": args.workers,
+        "client_state": args.client_state,
+        "worker_chunk_size": args.worker_chunk_size,
         "noise_scale": args.noise_scale,
         "clipping_bound": args.clipping_bound,
         "partition": args.partition,
@@ -208,16 +213,22 @@ def run_experiment(
     resume_executor: Optional[str] = None,
     resume_workers: Optional[int] = None,
     resume_rounds: Optional[int] = None,
+    resume_client_state: Optional[str] = None,
+    resume_worker_chunk_size: Optional[int] = None,
+    history_spool: Optional[str] = None,
+    history_tail: int = 64,
 ):
     """Run (or resume) one simulation.
 
     Returns ``(history, wall_clock_seconds, simulation)``; the simulation's
     executor is already closed when this returns.  On resume, the checkpoint
     pins every numerics-affecting field; ``resume_executor`` /
-    ``resume_workers`` override the checkpointed execution backend only when
-    explicitly given (``None`` keeps the checkpoint's choice), and an
-    explicit larger ``resume_rounds`` extends the run ("resume and keep
-    going").
+    ``resume_workers`` / ``resume_client_state`` / ``resume_worker_chunk_size``
+    override the checkpointed execution backend only when explicitly given
+    (``None`` keeps the checkpoint's choice), and an explicit larger
+    ``resume_rounds`` extends the run ("resume and keep going").
+    ``history_spool`` streams the round history to a JSONL file with only a
+    ``history_tail``-sized window in RAM (see docs/cross_device_scale.md).
     """
     if resume:
         if not checkpoint_path:
@@ -230,11 +241,17 @@ def run_experiment(
                 executor=resume_executor,
                 num_workers=resume_workers,
                 rounds=resume_rounds,
+                client_state=resume_client_state,
+                worker_chunk_size=resume_worker_chunk_size,
+                history_spool=history_spool,
+                history_tail=history_tail,
             )
         except ValueError as error:
             raise SystemExit(f"--resume: {error}")
     else:
-        simulation = FederatedSimulation(config)
+        simulation = FederatedSimulation(
+            config, history_spool=history_spool, history_tail=history_tail
+        )
     started = time.perf_counter()
     try:
         history = simulation.run(
@@ -248,7 +265,7 @@ def run_experiment(
 
 
 #: config fields the user may legitimately change when resuming a checkpoint
-_RESUME_MUTABLE_FIELDS = ("rounds", "executor", "num_workers")
+_RESUME_MUTABLE_FIELDS = ("rounds", "executor", "num_workers", "client_state", "worker_chunk_size")
 
 #: default value of every FederatedConfig field — used to compare explicit
 #: flags against checkpoints whose config omits fields still at their default
@@ -301,6 +318,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resume_executor=args.executor,
         resume_workers=args.workers,
         resume_rounds=args.rounds,
+        resume_client_state=args.client_state,
+        resume_worker_chunk_size=args.worker_chunk_size,
+        history_spool=args.history_spool,
+        history_tail=args.history_tail,
     )
     config = simulation.config  # resume may have restored the checkpointed config
     workers = config.num_workers if config.num_workers is not None else "auto"
@@ -523,6 +544,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, help="global RNG seed")
     run.add_argument("--executor", choices=EXECUTORS, help="client-execution backend (default: serial)")
     run.add_argument("--workers", type=int, help="worker-pool size for --executor multiprocessing")
+    run.add_argument(
+        "--client-state",
+        choices=CLIENT_STATE_MODES,
+        help="client materialisation: 'eager' builds all K shards up front, 'lazy' "
+        "derives only each round's cohort on demand; 'auto' (default) picks lazy "
+        "from 10k clients (numerics are identical — see docs/cross_device_scale.md)",
+    )
+    run.add_argument(
+        "--worker-chunk-size",
+        type=int,
+        help="clients dispatched per multiprocessing task (default: cohort/workers)",
+    )
+    run.add_argument(
+        "--history-spool",
+        help="stream per-round history to this JSONL file instead of holding every "
+        "round in RAM (bounded-memory long horizons)",
+    )
+    run.add_argument(
+        "--history-tail",
+        type=int,
+        default=64,
+        help="rounds kept in RAM when --history-spool is set (default 64)",
+    )
     run.add_argument("--checkpoint", help="round-level JSON checkpoint path")
     run.add_argument(
         "--checkpoint-every", type=int, default=1, help="write the checkpoint every N rounds (default 1)"

@@ -3,6 +3,7 @@
 from .dataset import Dataset
 from .partition import (
     PARTITION_STRATEGIES,
+    ClassShardPlan,
     dirichlet_partition_indices,
     iid_partition_indices,
     partition_by_class_shards,
@@ -13,6 +14,7 @@ from .partition import (
     partition_quantity_skew,
     quantity_skew_partition_indices,
 )
+from .population import LazyClientPopulation
 from .registry import DATASET_REGISTRY, DatasetSpec, get_dataset_spec, list_datasets
 from .synthetic import (
     generate_dataset,
@@ -23,6 +25,8 @@ from .synthetic import (
 
 __all__ = [
     "Dataset",
+    "ClassShardPlan",
+    "LazyClientPopulation",
     "DatasetSpec",
     "DATASET_REGISTRY",
     "get_dataset_spec",

@@ -25,14 +25,18 @@ client (disjoint indices, full coverage, no client empty):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
+
+from repro.rng import domain_seed_sequence
 
 from .dataset import Dataset
 from .registry import DatasetSpec
 
 __all__ = [
+    "ClassShardPlan",
     "partition_by_class_shards",
     "partition_full_copy",
     "partition_dataset",
@@ -51,6 +55,121 @@ __all__ = [
 PARTITION_STRATEGIES: Tuple[str, ...] = ("shards", "iid", "dirichlet", "quantity_skew")
 
 
+#: Domain tags for the per-client shard derivation (see :mod:`repro.rng`):
+#: one stream per client id for the example draws, one run-level stream for
+#: the class-coverage permutation.  Both are keyed on the run's
+#: ``partition_seed``, NOT on the population size — client ``k``'s shard is
+#: the same whether the run simulates 20 clients or a million, which is what
+#: lets :class:`repro.data.population.LazyClientPopulation` derive any
+#: client's indices on demand.
+_SHARD_CLIENT_DOMAIN = 0x5AA2D0
+_SHARD_ORDER_DOMAIN = 0x5AA2D1
+
+
+@dataclass(frozen=True)
+class ClassShardPlan:
+    """Per-client-derivable description of a class-skewed shard partition.
+
+    The paper's Table-I scheme assigns each client ``classes_per_client``
+    classes and samples ``data_per_client`` examples from them.  A plan holds
+    everything needed to derive client ``k``'s shard *independently* of every
+    other client: the class pools, a run-level class-coverage permutation
+    (cycled deterministically by client id so the class load stays balanced),
+    and the ``partition_seed`` that keys one RNG stream per client id.  The
+    derivation is population-size-independent — :meth:`indices_for` never
+    looks at how many clients exist.
+    """
+
+    partition_seed: int
+    indices_by_class: Tuple[np.ndarray, ...]
+    class_order: np.ndarray
+    data_per_client: int
+    classes_per_client: int
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Dataset,
+        data_per_client: int,
+        classes_per_client: int,
+        partition_seed: int,
+    ) -> "ClassShardPlan":
+        """Validate the request and precompute the class pools (O(num_examples))."""
+        if classes_per_client <= 0 or classes_per_client > dataset.num_classes:
+            raise ValueError(
+                f"classes_per_client must be in [1, {dataset.num_classes}], got {classes_per_client}"
+            )
+        if data_per_client <= 0:
+            raise ValueError("data_per_client must be positive")
+        indices_by_class = tuple(
+            np.flatnonzero(dataset.labels == c) for c in range(dataset.num_classes)
+        )
+        present_classes = [c for c, idx in enumerate(indices_by_class) if idx.size > 0]
+        if not present_classes:
+            raise ValueError("dataset contains no examples")
+        order_rng = np.random.default_rng(
+            domain_seed_sequence(partition_seed, _SHARD_ORDER_DOMAIN)
+        )
+        return cls(
+            partition_seed=int(partition_seed),
+            indices_by_class=indices_by_class,
+            class_order=order_rng.permutation(present_classes),
+            data_per_client=int(data_per_client),
+            classes_per_client=int(classes_per_client),
+        )
+
+    def classes_for(self, client_id: int) -> List[int]:
+        """The distinct classes client ``client_id`` samples from.
+
+        Clients cycle through the run-level class permutation at stride
+        ``classes_per_client``, so over any window of consecutive client ids
+        every class is covered as evenly as possible — the same balancing the
+        eager scheme achieved with a shared cursor, but derivable from the
+        client id alone.
+        """
+        if client_id < 0:
+            raise ValueError("client_id must be non-negative")
+        available = len(self.class_order)
+        take = min(self.classes_per_client, available)
+        start = client_id * self.classes_per_client
+        return [int(self.class_order[(start + j) % available]) for j in range(take)]
+
+    def indices_for(self, client_id: int) -> np.ndarray:
+        """Example indices of client ``client_id``'s shard (always exactly
+        ``data_per_client`` of them), derived from ``(partition_seed,
+        client_id)`` alone."""
+        chosen = self.classes_for(client_id)
+        rng = np.random.default_rng(
+            domain_seed_sequence(self.partition_seed, _SHARD_CLIENT_DOMAIN, client_id)
+        )
+        per_class = int(np.ceil(self.data_per_client / self.classes_per_client))
+        parts: List[np.ndarray] = []
+        for position, cls in enumerate(chosen):
+            pool = self.indices_by_class[cls]
+            want = (
+                per_class
+                if position < len(chosen) - 1
+                else self.data_per_client - per_class * (len(chosen) - 1)
+            )
+            want = max(want, 0)
+            parts.append(rng.choice(pool, size=want, replace=pool.size < want))
+        flat = np.concatenate(parts) if parts else np.array([], dtype=np.int64)
+        rng.shuffle(flat)
+        return flat[: self.data_per_client].astype(np.int64)
+
+
+def draw_partition_seed(rng: np.random.Generator) -> int:
+    """The single main-RNG draw the shards strategy consumes per run.
+
+    Both the eager :func:`partition_by_class_shards` and the lazy
+    :class:`repro.data.population.LazyClientPopulation` consume exactly this
+    one draw, which is what keeps the two paths bit-identical: the same main
+    RNG state yields the same ``partition_seed``, and everything downstream
+    is keyed on that seed through :mod:`repro.rng` domains.
+    """
+    return int(rng.integers(0, 2**63))
+
+
 def partition_by_class_shards(
     dataset: Dataset,
     num_clients: int,
@@ -66,47 +185,20 @@ def partition_by_class_shards(
     replacement when a class has fewer examples than requested, which lets the
     scaled-down synthetic datasets serve arbitrarily many simulated clients
     while preserving the non-IID label skew that the paper's setup creates.
+
+    Client ``k``'s shard is derived from ``(partition_seed, k)`` alone via
+    :class:`ClassShardPlan` — materialising all ``num_clients`` shards here is
+    a convenience for paper-scale populations; cross-device runs use
+    :class:`repro.data.population.LazyClientPopulation`, which shares the
+    derivation and therefore produces identical shards.
     """
     if num_clients <= 0:
         raise ValueError("num_clients must be positive")
-    if classes_per_client <= 0 or classes_per_client > dataset.num_classes:
-        raise ValueError(
-            f"classes_per_client must be in [1, {dataset.num_classes}], got {classes_per_client}"
-        )
-    if data_per_client <= 0:
-        raise ValueError("data_per_client must be positive")
     rng = rng if rng is not None else np.random.default_rng()
-
-    indices_by_class = [np.flatnonzero(dataset.labels == c) for c in range(dataset.num_classes)]
-    present_classes = [c for c, idx in enumerate(indices_by_class) if idx.size > 0]
-    if not present_classes:
-        raise ValueError("dataset contains no examples")
-
-    # Cycle through shuffled class lists so the class load is balanced.
-    class_order = rng.permutation(present_classes)
-    cursor = 0
-    per_class = int(np.ceil(data_per_client / classes_per_client))
-    shards: List[Dataset] = []
-    for _ in range(num_clients):
-        chosen: List[int] = []
-        while len(chosen) < min(classes_per_client, len(present_classes)):
-            cls = int(class_order[cursor % len(class_order)])
-            cursor += 1
-            if cursor % len(class_order) == 0:
-                class_order = rng.permutation(present_classes)
-            if cls not in chosen:
-                chosen.append(cls)
-        client_indices: List[np.ndarray] = []
-        for position, cls in enumerate(chosen):
-            pool = indices_by_class[cls]
-            want = per_class if position < len(chosen) - 1 else data_per_client - per_class * (len(chosen) - 1)
-            want = max(want, 0)
-            replace = pool.size < want
-            client_indices.append(rng.choice(pool, size=want, replace=replace))
-        flat = np.concatenate(client_indices) if client_indices else np.array([], dtype=np.int64)
-        rng.shuffle(flat)
-        shards.append(dataset.subset(flat[:data_per_client]))
-    return shards
+    plan = ClassShardPlan.from_dataset(
+        dataset, data_per_client, classes_per_client, draw_partition_seed(rng)
+    )
+    return [dataset.subset(plan.indices_for(k)) for k in range(num_clients)]
 
 
 def partition_full_copy(dataset: Dataset, num_clients: int) -> List[Dataset]:

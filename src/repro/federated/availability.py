@@ -13,14 +13,20 @@ first-class, deterministic dimensions of every simulation:
 
 Determinism
 -----------
-All draws come from per-round per-slot ``np.random.SeedSequence`` streams
-keyed on ``(config.seed, availability domain tag, round_index, slot)`` — the
-same scheme :func:`repro.federated.executor.spawn_client_seeds` uses for the
-client training streams, with its own domain tag so the two never collide.
-Availability therefore depends only on the config seed, the round index and
-the slot within the selected cohort: it is identical across the serial and
-multiprocessing backends, unaffected by how many rounds ran before (exact
-checkpoint resume), and stable under the executor's scheduling.
+All draws come from per-round ``np.random.SeedSequence`` streams derived
+through :func:`repro.rng.domain_seed_sequence` with the availability domain
+tag, so they never collide with the client training streams.  Under
+fixed-size sampling each *slot* of the selected cohort consumes its own
+spawned child stream (the historical scheme the committed golden
+trajectories depend on); under Poisson sampling the draws are keyed on the
+*client id* instead (``by_client_id=True``), which makes them independent of
+the population size and of which other clients were drawn — the same
+discipline :func:`repro.federated.executor.client_id_seed_sequence` applies
+to training streams.  Either way availability depends only on the config
+seed, the round index and the client's coordinate: it is identical across
+the serial and multiprocessing backends, unaffected by how many rounds ran
+before (exact checkpoint resume), and stable under the executor's
+scheduling.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .executor import domain_seed_sequence
+from repro.rng import domain_seed_sequence
 
 __all__ = ["AvailabilityModel", "AvailabilityDraw"]
 
@@ -95,25 +101,43 @@ class AvailabilityModel:
         return self.dropout_rate > 0.0 or self.straggler_deadline is not None
 
     # ------------------------------------------------------------------
-    def draw(self, selected: Sequence[int], round_index: int) -> AvailabilityDraw:
+    def draw(
+        self, selected: Sequence[int], round_index: int, by_client_id: bool = False
+    ) -> AvailabilityDraw:
         """Classify the selected cohort of one round.
 
-        Each slot consumes its own spawned stream: one uniform draw decides
+        Each client consumes its own stream: one uniform draw decides
         dropout, then (only when a deadline is set) one lognormal draw gives
         the client's simulated duration.  Enabling stragglers therefore does
         not perturb the dropout pattern and vice versa.
+
+        With ``by_client_id=False`` (fixed-size sampling) the streams are the
+        per-slot children spawned from the round's availability root — the
+        historical scheme committed golden trajectories depend on.  With
+        ``by_client_id=True`` (Poisson sampling) each stream is keyed on
+        ``(seed, domain, round_index, client_id)`` directly, so a client's
+        availability is independent of the population size and of the rest of
+        the drawn cohort — never enumerating, or spawning seeds for, the full
+        population.
         """
         if not self.active or not selected:
             return AvailabilityDraw(
                 participating=[int(c) for c in selected],
                 participating_slots=list(range(len(selected))),
             )
-        root = domain_seed_sequence(self.seed, _AVAILABILITY_DOMAIN, round_index)
+        if by_client_id:
+            streams = [
+                domain_seed_sequence(self.seed, _AVAILABILITY_DOMAIN, round_index, int(client))
+                for client in selected
+            ]
+        else:
+            root = domain_seed_sequence(self.seed, _AVAILABILITY_DOMAIN, round_index)
+            streams = root.spawn(len(selected))
         participating: List[int] = []
         slots: List[int] = []
         dropped: List[int] = []
         stragglers: List[int] = []
-        for slot, (client, child) in enumerate(zip(selected, root.spawn(len(selected)))):
+        for slot, (client, child) in enumerate(zip(selected, streams)):
             rng = np.random.default_rng(child)
             if rng.random() < self.dropout_rate:
                 dropped.append(int(client))

@@ -14,13 +14,13 @@ with its own :class:`numpy.random.SeedSequence`-derived RNG stream (see
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.dataset import Dataset
 
-__all__ = ["FederatedClient"]
+__all__ = ["FederatedClient", "LazyClientRoster"]
 
 
 class FederatedClient:
@@ -67,3 +67,35 @@ class FederatedClient:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FederatedClient(id={self.client_id}, examples={self.num_examples})"
+
+
+class LazyClientRoster(Sequence):
+    """On-demand :class:`FederatedClient` view over a lazy population.
+
+    Cross-device simulations never materialise all ``K`` clients: this roster
+    stands in for the eager client list and constructs a client (and its
+    shard, via :class:`repro.data.population.LazyClientPopulation`) only when
+    it is indexed — which the simulation does exactly for the round's sampled
+    cohort.  Every access builds a fresh, identical object from the same
+    deterministic derivation, so holding no cache costs only the cohort-sized
+    per-round construction and keeps memory flat over any horizon.
+    """
+
+    def __init__(self, population, trainer) -> None:
+        self.population = population
+        self.trainer = trainer
+
+    def __len__(self) -> int:
+        return len(self.population)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[k] for k in range(*index.indices(len(self)))]
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        return FederatedClient(index, self.population[index], self.trainer)
+
+    def materialize(self) -> List[FederatedClient]:
+        """All clients as an eager list (paper-scale convenience)."""
+        return [self[k] for k in range(len(self))]

@@ -24,6 +24,8 @@ __all__ = [
     "PRIVATE_METHODS",
     "EXECUTORS",
     "CLIENT_SAMPLING_SCHEMES",
+    "CLIENT_STATE_MODES",
+    "LAZY_CLIENT_STATE_THRESHOLD",
     "ACCOUNTANT_NAMES",
     "ATTACK_KINDS",
     "normalize_attack_rounds",
@@ -46,6 +48,17 @@ EXECUTORS: Tuple[str, ...] = ("serial", "multiprocessing", "fused")
 
 #: Per-round client-selection schemes understood by the server.
 CLIENT_SAMPLING_SCHEMES: Tuple[str, ...] = ("fixed", "poisson")
+
+#: Client-state construction modes (see docs/cross_device_scale.md).
+#: ``eager`` materialises every client's shard up front (the historical
+#: behaviour); ``lazy`` derives only the sampled cohort's shards per round
+#: through :class:`repro.data.population.LazyClientPopulation`; ``auto``
+#: picks ``lazy`` at cross-device populations and ``eager`` below.  The two
+#: modes are bit-identical — the choice is purely a memory/time trade.
+CLIENT_STATE_MODES: Tuple[str, ...] = ("auto", "eager", "lazy")
+
+#: Population size at which ``client_state="auto"`` switches to ``lazy``.
+LAZY_CLIENT_STATE_THRESHOLD = 10_000
 
 #: In-loop adversary kinds understood by :class:`repro.attacks.schedule.AttackSchedule`.
 ATTACK_KINDS: Tuple[str, ...] = ("leakage",)
@@ -189,6 +202,14 @@ class FederatedConfig:
     #: worker-pool size for the multiprocessing backend (``None`` = one per
     #: participating client, capped at the machine's CPU count)
     num_workers: Optional[int] = None
+    #: client-state construction mode, one of :data:`CLIENT_STATE_MODES`
+    #: (``auto`` = lazy at populations of :data:`LAZY_CLIENT_STATE_THRESHOLD`
+    #: clients or more, eager below; bit-identical either way)
+    client_state: str = "auto"
+    #: clients per multiprocessing dispatch chunk (``None`` = split the
+    #: cohort evenly, one chunk per worker); the global weights are
+    #: serialised once per chunk
+    worker_chunk_size: Optional[int] = None
 
     # ----- bookkeeping ---------------------------------------------------
     #: global seed controlling data generation, partitioning, sampling, noise
@@ -281,6 +302,13 @@ class FederatedConfig:
             raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
         if self.num_workers is not None and self.num_workers < 1:
             raise ValueError("num_workers must be at least 1 (or None for auto)")
+        if self.client_state not in CLIENT_STATE_MODES:
+            raise ValueError(
+                f"unknown client_state {self.client_state!r}; "
+                f"expected one of {CLIENT_STATE_MODES}"
+            )
+        if self.worker_chunk_size is not None and self.worker_chunk_size < 1:
+            raise ValueError("worker_chunk_size must be at least 1 (or None for auto)")
         # fail fast on typos in the dataset name
         get_dataset_spec(self.dataset)
 
@@ -333,6 +361,13 @@ class FederatedConfig:
         """Client-level sampling rate ``q2 = Kt / K`` used by Fed-SDP accounting."""
         return self.clients_per_round / self.num_clients
 
+    @property
+    def resolved_client_state(self) -> str:
+        """``client_state`` with ``auto`` resolved against the population size."""
+        if self.client_state != "auto":
+            return self.client_state
+        return "lazy" if self.num_clients >= LAZY_CLIENT_STATE_THRESHOLD else "eager"
+
     def with_overrides(self, **kwargs) -> "FederatedConfig":
         """Return a copy of this config with the given fields replaced."""
         return replace(self, **kwargs)
@@ -354,6 +389,13 @@ class FederatedConfig:
             del payload["accountant"]
         if payload["epsilon_budget"] is None:
             del payload["epsilon_budget"]
+        # same convention for the cross-device-scale execution knobs: both
+        # modes are bit-identical, so defaults stay out of the payload and
+        # pre-scale checkpoints/fixtures keep their byte-exact form
+        if payload["client_state"] == "auto":
+            del payload["client_state"]
+        if payload["worker_chunk_size"] is None:
+            del payload["worker_chunk_size"]
         for attack_field, default in (
             ("attack", None),
             ("attack_rounds", None),

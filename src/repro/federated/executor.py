@@ -10,9 +10,12 @@ FederatedSimulation` uses to farm those jobs out:
 * :class:`SerialClientExecutor` — runs the selected clients one after another
   in the simulation process (the reference backend);
 * :class:`MultiprocessingClientExecutor` — runs them on a persistent
-  ``multiprocessing`` worker pool; each worker process rebuilds the model and
-  local trainer once from the :class:`~repro.federated.config.FederatedConfig`
-  and keeps them alive across rounds;
+  ``multiprocessing`` worker pool; each worker process rebuilds the model,
+  the local trainer and a lazy view of the client population once from the
+  :class:`~repro.federated.config.FederatedConfig` and keeps them alive
+  across rounds; per round the selected cohort is dispatched as one chunk of
+  clients per worker, with the read-only global weights serialised once per
+  chunk (see docs/cross_device_scale.md);
 * :class:`BatchFusedClientExecutor` — opt-in single-process backend that
   stacks the selected clients' first minibatches into one batched-graph
   replay (see :mod:`repro.autodiff.batched`) before running each client's
@@ -20,12 +23,17 @@ FederatedSimulation` uses to farm those jobs out:
 
 Determinism
 -----------
-Both backends consume *the same* randomness.  Each round derives one child
-RNG stream per selected-client slot with :func:`spawn_client_seeds`, built on
-``np.random.SeedSequence.spawn``: the round's root sequence is keyed on
-``(config.seed, domain tag, round_index)``, so the streams are independent of
-execution order, of the backend, and of how many rounds ran before (which is
-what makes checkpoint resume exact).  A fixed config seed therefore yields a
+All backends consume *the same* randomness.  Under fixed-size sampling each
+round derives one child RNG stream per selected-client slot with
+:func:`spawn_client_seeds`; under Poisson sampling (where slots are
+meaningless — any subset of the population may be drawn) each participant's
+stream is keyed directly on its client id with
+:func:`client_id_seed_sequence`, so the stream is independent of the
+population size and of which other clients happened to be drawn.  Both
+schemes build on :func:`repro.rng.domain_seed_sequence`: streams are keyed on
+``(config.seed, domain tag, structural key)`` and are therefore independent
+of execution order, of the backend, and of how many rounds ran before (which
+is what makes checkpoint resume exact).  A fixed config seed yields a
 bit-identical :class:`~repro.federated.simulation.SimulationHistory` on every
 backend — regression-tested in ``tests/federated/test_executor.py``.
 """
@@ -39,6 +47,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.rng import domain_seed_sequence
 
 from .config import EXECUTORS, FederatedConfig
 
@@ -50,35 +59,24 @@ __all__ = [
     "make_executor",
     "domain_seed_sequence",
     "spawn_client_seeds",
+    "client_id_seed_sequence",
     "default_num_workers",
 ]
 
 
-#: Domain-separation tag mixed into the per-round client SeedSequence so the
-#: client streams never collide with other uses of the config seed.  Sibling
+#: Domain-separation tags mixed into the client SeedSequences so the client
+#: streams never collide with other uses of the config seed.
+#: ``_CLIENT_STREAM_DOMAIN`` keys the per-round *slot* streams of fixed-size
+#: sampling; ``_CLIENT_ID_STREAM_DOMAIN`` keys the per-round *client-id*
+#: streams of Poisson sampling (population-size-independent).  Sibling
 #: domains: ``repro.federated.availability._AVAILABILITY_DOMAIN`` (dropout /
-#: straggler draws) and ``repro.attacks.schedule.ATTACK_DOMAIN`` (in-loop
-#: adversary draws) — every consumer of the config seed derives its streams
-#: through :func:`domain_seed_sequence` with its own tag, so no two subsystems
-#: can ever consume correlated randomness.
+#: straggler draws), ``repro.attacks.schedule.ATTACK_DOMAIN`` (in-loop
+#: adversary draws) and ``repro.data.partition._SHARD_CLIENT_DOMAIN`` (lazy
+#: shard derivation) — every consumer of the config seed derives its streams
+#: through :func:`repro.rng.domain_seed_sequence` with its own tag, so no two
+#: subsystems can ever consume correlated randomness.
 _CLIENT_STREAM_DOMAIN = 0x0C11E27
-
-
-def domain_seed_sequence(seed: int, domain: int, *key: int) -> np.random.SeedSequence:
-    """Root ``SeedSequence`` of one RNG domain, keyed on ``(seed, domain, *key)``.
-
-    Every source of randomness outside the simulation's main generator
-    (client training streams, availability draws, in-loop attack draws) is
-    derived from a root built here.  Because the entropy tuple contains only
-    the config seed, the subsystem's domain tag and the caller's structural
-    key (round index, slot, client id, restart index, ...), the resulting
-    streams are independent of the execution backend, of scheduling order and
-    of how many rounds ran before — the invariant behind the
-    serial ≡ multiprocessing guarantee and exact checkpoint resume.
-    """
-    return np.random.SeedSequence(
-        entropy=(int(seed), int(domain)) + tuple(int(k) for k in key)
-    )
+_CLIENT_ID_STREAM_DOMAIN = 0x0C11D1D
 
 
 def spawn_client_seeds(
@@ -95,6 +93,22 @@ def spawn_client_seeds(
         raise ValueError("count must be non-negative")
     root = domain_seed_sequence(seed, _CLIENT_STREAM_DOMAIN, round_index)
     return list(root.spawn(count))
+
+
+def client_id_seed_sequence(
+    seed: int, round_index: int, client_id: int
+) -> np.random.SeedSequence:
+    """Training-stream seed for one ``(round, client id)`` pair.
+
+    Used by Poisson sampling, where any subset of the population may be drawn
+    and slot numbering is therefore meaningless: keying on the client id
+    makes a client's stream independent of the population size, of the rest
+    of the cohort, and of whether the population is materialised eagerly or
+    lazily — so a 1M-client run never spawns a million seeds to serve a 10k
+    cohort.  Fixed-size sampling keeps the historical per-slot scheme of
+    :func:`spawn_client_seeds` (committed golden trajectories depend on it).
+    """
+    return domain_seed_sequence(seed, _CLIENT_ID_STREAM_DOMAIN, round_index, client_id)
 
 
 def default_num_workers(clients_per_round: int) -> int:
@@ -166,47 +180,92 @@ class SerialClientExecutor(ClientExecutor):
 #: Per-worker-process state, populated once by :func:`_worker_initializer`.
 _WORKER_STATE: dict = {}
 
+#: Upper bound on per-worker cached shards.  Paper-scale populations fit
+#: entirely (each worker pays each client's shard construction once across
+#: the whole run); cross-device populations cycle through fresh cohorts every
+#: round anyway, so a bounded cache only has to absorb within-run re-draws.
+_WORKER_SHARD_CACHE_LIMIT = 1024
 
-def _worker_initializer(config: FederatedConfig, shard_payload: List[tuple]) -> None:
-    """Build the model, trainer and data shards once per worker process."""
+
+def _worker_initializer(config: FederatedConfig, data_payload: Optional[tuple]) -> None:
+    """Build the model, trainer and a lazy client population once per worker.
+
+    ``data_payload`` is ``None`` when the training data is the config's
+    synthetic dataset — the worker regenerates it from ``config.seed``, so
+    nothing but the config crosses the process boundary at startup.  A custom
+    training dataset is shipped once as ``(features, labels, num_classes)``.
+    Either way the worker derives client shards on demand through the same
+    :class:`~repro.data.population.LazyClientPopulation` construction as the
+    parent simulation (identical main-RNG consumption), so worker-side shards
+    are bit-identical to the parent's at every scale.
+    """
     # Imported here so the (spawned) worker pays the import cost once, and to
     # avoid an import cycle at module load time.
     from repro.core.factory import make_trainer
+    from repro.data.population import LazyClientPopulation
+    from repro.data.synthetic import generate_train_val
     from repro.nn import build_model_for_dataset
 
     model = build_model_for_dataset(config.spec, seed=config.seed, scale=config.model_scale)
     trainer = make_trainer(config.method, model, config)
-    datasets = [
-        Dataset(features, labels, num_classes) for features, labels, num_classes in shard_payload
-    ]
+    if data_payload is None:
+        train_dataset, _ = generate_train_val(
+            config.spec, config.num_train_examples, config.num_val_examples, seed=config.seed
+        )
+    else:
+        features, labels, num_classes = data_payload
+        train_dataset = Dataset(features, labels, num_classes)
+    population = LazyClientPopulation(
+        train_dataset,
+        config.spec,
+        config.num_clients,
+        rng=np.random.default_rng(config.seed),
+        data_per_client=config.effective_data_per_client,
+        strategy=config.partition,
+        dirichlet_alpha=config.dirichlet_alpha,
+        quantity_skew_exponent=config.quantity_skew_exponent,
+    )
     _WORKER_STATE["trainer"] = trainer
-    _WORKER_STATE["datasets"] = datasets
+    _WORKER_STATE["population"] = population
+    _WORKER_STATE["shard_cache"] = {}
 
 
-def _worker_run_client(task: tuple):
-    """Run one client's local training inside a worker process."""
-    client_index, global_weights, round_index, seed_sequence = task
+def _worker_run_chunk(task: tuple) -> List:
+    """Run one chunk of clients' local training inside a worker process."""
+    global_weights, round_index, jobs = task
     trainer = _WORKER_STATE["trainer"]
-    dataset = _WORKER_STATE["datasets"][client_index]
-    rng = np.random.default_rng(seed_sequence)
-    return trainer.train_client(dataset, global_weights, round_index, rng)
+    population = _WORKER_STATE["population"]
+    cache = _WORKER_STATE["shard_cache"]
+    results = []
+    for client_index, seed_sequence in jobs:
+        dataset = cache.get(client_index)
+        if dataset is None:
+            dataset = population[client_index]
+            if len(cache) < _WORKER_SHARD_CACHE_LIMIT:
+                cache[client_index] = dataset
+        rng = np.random.default_rng(seed_sequence)
+        results.append(trainer.train_client(dataset, global_weights, round_index, rng))
+    return results
 
 
 class MultiprocessingClientExecutor(ClientExecutor):
     """Round-level client parallelism on a persistent process pool.
 
     Worker processes are started lazily on the first round and kept alive for
-    the lifetime of the executor, so the per-round cost is pickling the
-    global weights out (once per worker chunk — see :meth:`run_clients`) and
-    the ``LocalUpdate`` results back.  Each worker rebuilds the model and
-    trainer from the config in its initializer; the global weights broadcast
-    every round make any worker-local parameter state irrelevant, exactly as
-    in the serial backend where one shared trainer is reused across clients.
+    the lifetime of the executor.  Startup ships only the config (plus the
+    training dataset when it is a custom one the workers cannot regenerate);
+    each worker rebuilds the model, trainer and a lazy view of the client
+    population in its initializer and derives the shards it is asked to train
+    on demand — no per-client state is ever broadcast, which is what lets
+    this backend serve 100k–1M-client populations (docs/cross_device_scale.md).
 
-    Known scaling limit: the initializer ships *all* client shards to every
-    worker (paid once, at pool startup).  That is the right trade for
-    many-round runs at the current scales; at the paper's ``K = 10,000``
-    shard the client population across pools before going wide.
+    Per round the selected cohort is split into chunks of
+    ``config.worker_chunk_size`` clients (default: one chunk per worker) and
+    each chunk is dispatched as a single task carrying the read-only global
+    weights exactly once — so the weights cross the process boundary
+    ``ceil(cohort / chunk)`` times per round regardless of cohort size.
+    Chunk tasks are mapped in order, so aggregation order (and therefore
+    floating-point summation order) matches the serial backend exactly.
     """
 
     name = "multiprocessing"
@@ -214,14 +273,24 @@ class MultiprocessingClientExecutor(ClientExecutor):
     def __init__(
         self,
         config: FederatedConfig,
-        shards: Sequence[Dataset],
+        train_dataset: Optional[Dataset] = None,
         num_workers: Optional[int] = None,
         start_method: str = "spawn",
+        dataset_from_config: bool = True,
     ) -> None:
         self.config = config
-        self._shard_payload = [
-            (shard.features, shard.labels, shard.num_classes) for shard in shards
-        ]
+        if dataset_from_config:
+            self._data_payload = None
+        else:
+            if train_dataset is None:
+                raise ValueError(
+                    "train_dataset is required when it cannot be rebuilt from the config"
+                )
+            self._data_payload = (
+                train_dataset.features,
+                train_dataset.labels,
+                train_dataset.num_classes,
+            )
         self.num_workers = (
             int(num_workers)
             if num_workers is not None
@@ -239,7 +308,7 @@ class MultiprocessingClientExecutor(ClientExecutor):
             self._pool = context.Pool(
                 processes=self.num_workers,
                 initializer=_worker_initializer,
-                initargs=(self.config, self._shard_payload),
+                initargs=(self.config, self._data_payload),
             )
         return self._pool
 
@@ -256,18 +325,18 @@ class MultiprocessingClientExecutor(ClientExecutor):
             return []
         pool = self._ensure_pool()
         weights = [np.asarray(w) for w in global_weights]
-        tasks = [
-            (int(client_index), weights, int(round_index), client_seeds[slot])
-            for slot, client_index in enumerate(selected)
-        ]
-        # Every task references the same `weights` list, and pickle memoises
-        # shared objects within one chunk — so with one chunk per worker the
-        # global weights cross the process boundary ~num_workers times per
-        # round, not clients_per_round times.  Pool.map preserves task order,
-        # so aggregation order (and therefore floating-point summation order)
-        # matches the serial backend exactly.
-        chunk_size = max(1, -(-len(tasks) // self.num_workers))
-        return pool.map(_worker_run_client, tasks, chunksize=chunk_size)
+        chunk = self.config.worker_chunk_size
+        if chunk is None:
+            chunk = max(1, -(-len(selected) // self.num_workers))
+        tasks = []
+        for start in range(0, len(selected), chunk):
+            jobs = [
+                (int(selected[slot]), client_seeds[slot])
+                for slot in range(start, min(start + chunk, len(selected)))
+            ]
+            tasks.append((weights, int(round_index), jobs))
+        chunk_results = pool.map(_worker_run_chunk, tasks, chunksize=1)
+        return [result for chunk_result in chunk_results for result in chunk_result]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -381,13 +450,27 @@ class BatchFusedClientExecutor(ClientExecutor):
 def make_executor(
     config: FederatedConfig,
     clients: Sequence,
-    shards: Sequence[Dataset],
+    train_dataset: Optional[Dataset] = None,
+    dataset_from_config: bool = True,
 ) -> ClientExecutor:
-    """Instantiate the executor backend selected by ``config.executor``."""
+    """Instantiate the executor backend selected by ``config.executor``.
+
+    ``clients`` may be an eager list of
+    :class:`~repro.federated.client.FederatedClient` or a lazy roster — the
+    in-process backends only index into it.  The multiprocessing backend
+    ignores ``clients`` entirely: workers rebuild the population from the
+    config (``dataset_from_config=True``, nothing shipped) or from the
+    ``train_dataset`` shipped once at pool startup.
+    """
     if config.executor == "serial":
         return SerialClientExecutor(clients)
     if config.executor == "multiprocessing":
-        return MultiprocessingClientExecutor(config, shards, num_workers=config.num_workers)
+        return MultiprocessingClientExecutor(
+            config,
+            train_dataset=train_dataset,
+            num_workers=config.num_workers,
+            dataset_from_config=dataset_from_config,
+        )
     if config.executor == "fused":
         return BatchFusedClientExecutor(clients)
     raise ValueError(f"unknown executor {config.executor!r}; expected one of {EXECUTORS}")

@@ -1,0 +1,169 @@
+"""Bounded-memory round history: a JSONL disk spool with an in-RAM tail.
+
+The in-RAM ``SimulationHistory.rounds`` list is fine for the paper's
+``T = 100`` rounds and fatal for long cross-device horizons: every
+:class:`~repro.federated.server.RoundResult` held forever makes history RAM
+grow linearly with the round count.  :class:`RoundSpool` bounds that: it is a
+read-only-sequence drop-in for the rounds list that appends each round as one
+JSON line to a spool file, keeps only a fixed-size tail window of recent
+rounds in RAM, and reads older rounds back from disk on demand.  Everything
+downstream — the history's derived metrics, ``to_dict``, checkpoints, the
+golden-fixture comparisons — iterates the sequence interface and works
+unchanged.
+
+Serialisation goes through :func:`round_result_to_payload` /
+:func:`round_result_from_payload`, the *same* helpers
+:class:`~repro.federated.simulation.SimulationHistory` uses for checkpoints
+and ``--output`` files, so a round that round-trips through the spool is
+bit-identical to one that round-trips through a checkpoint (JSON's float
+repr round-trips ``float64`` exactly).
+
+Spool format: one RFC-8259 JSON object per line, in round order, identical
+to the entries of the checkpoint's ``history.rounds`` array.  The file is
+self-describing and greppable/``jq``-able — see docs/cross_device_scale.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from .server import AttackRecord, RoundResult
+
+__all__ = ["RoundSpool", "round_result_to_payload", "round_result_from_payload"]
+
+
+def round_result_to_payload(result: RoundResult) -> dict:
+    """One round as a strict-JSON-serialisable dictionary.
+
+    ``NaN`` metrics (the loss of a skipped round) are encoded as ``null`` so
+    the payload stays valid RFC-8259 JSON for strict consumers; the
+    ``attacks`` key is omitted when no attack ran (mirroring the config
+    convention), keeping unattacked payloads byte-identical to their
+    pre-attack-era form.
+    """
+    payload = asdict(result)
+    mean_loss = payload["mean_loss"]
+    if isinstance(mean_loss, float) and np.isnan(mean_loss):
+        payload["mean_loss"] = None
+    if payload["attacks"]:
+        for attack in payload["attacks"]:
+            # a bit-perfect reconstruction has infinite PSNR, which strict
+            # RFC-8259 JSON cannot carry
+            if not np.isfinite(attack["psnr"]):
+                attack["psnr"] = None
+    else:
+        del payload["attacks"]
+    return payload
+
+
+def round_result_from_payload(entry: dict) -> RoundResult:
+    """Inverse of :func:`round_result_to_payload` (tolerant of old payloads)."""
+    entry = dict(entry)
+    # payloads written before the availability layer existed carry no
+    # participation bookkeeping; back then every selected client participated
+    entry.setdefault("participating_clients", list(entry["selected_clients"]))
+    if entry["mean_loss"] is None:  # skipped round, serialised as null
+        entry["mean_loss"] = float("nan")
+    attacks = []
+    for attack in entry.get("attacks", []):
+        attack = dict(attack)
+        if attack["psnr"] is None:  # infinite PSNR, serialised as null
+            attack["psnr"] = float("inf")
+        attacks.append(AttackRecord(**attack))
+    entry["attacks"] = attacks
+    return RoundResult(**entry)
+
+
+class RoundSpool(Sequence):
+    """Append-only round storage: JSONL on disk, a bounded tail in RAM.
+
+    Supports the sequence operations the history layer uses — ``len``,
+    ``append``, indexing (recent rounds from the tail window, older rounds
+    re-read from disk by byte offset) and ordered iteration (streamed from
+    disk, O(tail) RAM regardless of the horizon).
+    """
+
+    def __init__(self, path: str, tail_window: int = 64) -> None:
+        if tail_window < 1:
+            raise ValueError("tail_window must be at least 1")
+        self.path = os.path.abspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # a spool belongs to exactly one run: truncate any previous content
+        self._handle = open(self.path, "w")
+        self._offsets: List[int] = []
+        self._tail: "OrderedDict[int, RoundResult]" = OrderedDict()
+        self.tail_window = int(tail_window)
+        self._reader = None
+
+    # ------------------------------------------------------------------
+    def append(self, result: RoundResult) -> None:
+        offset = self._handle.tell()
+        json.dump(round_result_to_payload(result), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self._handle.flush()
+        self._offsets.append(offset)
+        self._tail[len(self._offsets) - 1] = result
+        while len(self._tail) > self.tail_window:
+            self._tail.popitem(last=False)
+
+    def extend(self, results: Sequence[RoundResult]) -> None:
+        for result in results:
+            self.append(result)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def _read_at(self, offset: int) -> RoundResult:
+        if self._reader is None:
+            self._reader = open(self.path, "r")
+        self._reader.seek(offset)
+        return round_result_from_payload(json.loads(self._reader.readline()))
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[k] for k in range(*index.indices(len(self)))]
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("round index out of range")
+        if index in self._tail:
+            return self._tail[index]
+        return self._read_at(self._offsets[index])
+
+    def __iter__(self) -> Iterator[RoundResult]:
+        for index in range(len(self)):
+            yield self[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def tail(self) -> List[RoundResult]:
+        """The most recent rounds held in RAM (oldest first)."""
+        return list(self._tail.values())
+
+    def in_memory_rounds(self) -> int:
+        """Number of rounds currently resident in RAM (bounded by the window)."""
+        return len(self._tail)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass

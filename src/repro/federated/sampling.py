@@ -39,19 +39,38 @@ def sample_clients_poisson(
 ) -> List[int]:
     """Include each client independently with the given probability.
 
-    This is exact Poisson subsampling: one draw per client, always consuming
-    exactly one ``rng.random(num_clients)`` call, and the result **may be
-    empty**.  (Earlier versions silently re-sampled empty draws, which both
-    biased the distribution the moments accountant assumes and consumed a
-    data-dependent amount of randomness.)  Callers must handle an empty
-    selection; :class:`~repro.federated.server.FederatedServer` skips the
-    round deterministically — server weights unchanged, the round recorded
-    with no participants — so fixed-seed trajectories stay reproducible.
+    This is exact Poisson subsampling and the result **may be empty**; callers
+    must handle an empty selection.  :class:`~repro.federated.server.
+    FederatedServer` skips the round deterministically — server weights
+    unchanged, the round recorded with no participants — so fixed-seed
+    trajectories stay reproducible.
+
+    The draw costs O(cohort), not O(population): under Poisson sampling the
+    cohort size is ``Binomial(K, q)`` and, conditioned on the size, the cohort
+    is a uniformly random subset of that size — so one ``binomial`` draw plus
+    rejection-sampling the distinct member ids is distributionally identical
+    to the textbook one-Bernoulli-per-client formulation, without ever
+    enumerating the ``K`` clients.  (When the drawn cohort exceeds ``K/2``
+    the *complement* is rejection-sampled instead, so the expected number of
+    ``rng`` draws stays O(min(cohort, K - cohort)).)  At ``K = 1M, q = 1%``
+    this is the difference between touching 10k ids and touching 1M every
+    round — see docs/cross_device_scale.md.
     """
     if num_clients <= 0:
         raise ValueError("num_clients must be positive")
     if not 0.0 < participation_probability <= 1.0:
         raise ValueError("participation_probability must lie in (0, 1]")
     rng = rng if rng is not None else np.random.default_rng()
-    mask = rng.random(num_clients) < participation_probability
-    return [int(i) for i in np.flatnonzero(mask)]
+    count = int(rng.binomial(num_clients, participation_probability))
+    if count == 0:
+        return []
+    if count == num_clients:
+        return list(range(num_clients))
+    target = count if count <= num_clients // 2 else num_clients - count
+    picked: set = set()
+    while len(picked) < target:
+        draws = rng.integers(0, num_clients, size=target - len(picked))
+        picked.update(int(i) for i in draws)
+    if target == count:
+        return sorted(picked)
+    return [i for i in range(num_clients) if i not in picked]

@@ -103,6 +103,11 @@ class FederatedServer:
         ``"poisson"`` (each client independently with probability
         ``clients_per_round / K``; the draw may be empty, in which case the
         round is skipped).
+    keep_round_results:
+        When ``False`` the server does not accumulate its own
+        ``round_results`` list — used by the simulation when the history is
+        streamed to a disk spool, so no in-RAM structure grows with the round
+        horizon (see docs/cross_device_scale.md).
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class FederatedServer:
         update_sanitizer: Optional[Callable[[List[np.ndarray], int, np.random.Generator], List[np.ndarray]]] = None,
         compression_ratio: float = 0.0,
         client_sampling: str = "fixed",
+        keep_round_results: bool = True,
     ) -> None:
         if aggregation not in ("fedsgd", "fedavg"):
             raise ValueError("aggregation must be 'fedsgd' or 'fedavg'")
@@ -125,6 +131,7 @@ class FederatedServer:
         self.update_sanitizer = update_sanitizer
         self.compression_ratio = float(compression_ratio)
         self.client_sampling = client_sampling
+        self.keep_round_results = bool(keep_round_results)
         self.round_results: List[RoundResult] = []
 
     # ------------------------------------------------------------------
@@ -145,6 +152,9 @@ class FederatedServer:
         executor=None,
         client_seeds: Optional[Sequence[np.random.SeedSequence]] = None,
         availability: Optional[AvailabilityModel] = None,
+        client_seed_factory: Optional[
+            Callable[[int, int], np.random.SeedSequence]
+        ] = None,
     ) -> RoundResult:
         """Execute one full round: select, filter availability, train, aggregate.
 
@@ -156,6 +166,13 @@ class FederatedServer:
         stream per selected slot (``client_seeds``); the server then applies
         sanitisation/compression and aggregates in selection order, so the
         result is independent of the backend's scheduling.
+
+        ``client_seed_factory`` replaces the pre-spawned ``client_seeds``
+        list with on-demand derivation: it is called as ``factory(slot,
+        client_id)`` for each *participating* client.  The simulation uses it
+        under Poisson sampling to key training streams on the client id, so
+        no seed is ever spawned for a client that was not drawn (the
+        per-round cost is O(cohort) regardless of the population size).
 
         ``availability`` (an :class:`~repro.federated.availability.
         AvailabilityModel`) thins the selected cohort into participating /
@@ -175,7 +192,12 @@ class FederatedServer:
         """
         selected = self.select_clients(len(clients), clients_per_round, rng)
         if availability is not None:
-            draw = availability.draw(selected, round_index)
+            # Poisson cohorts key availability on the client id so the draw
+            # is population-size-independent; fixed cohorts keep the
+            # historical per-slot streams (golden trajectories depend on it).
+            draw = availability.draw(
+                selected, round_index, by_client_id=self.client_sampling == "poisson"
+            )
         else:
             draw = AvailabilityDraw(
                 participating=list(selected), participating_slots=list(range(len(selected)))
@@ -193,7 +215,8 @@ class FederatedServer:
                 dropped_clients=list(draw.dropped),
                 straggler_clients=list(draw.stragglers),
             )
-            self.round_results.append(outcome)
+            if self.keep_round_results:
+                self.round_results.append(outcome)
             return outcome
 
         if executor is None:
@@ -202,11 +225,20 @@ class FederatedServer:
                 for client_index in participants
             ]
         else:
-            if client_seeds is None:
-                raise ValueError("client_seeds is required when running with an executor")
-            if len(client_seeds) < len(selected):
-                raise ValueError("need one client seed per selected client")
-            participant_seeds = [client_seeds[slot] for slot in draw.participating_slots]
+            if client_seed_factory is not None:
+                participant_seeds = [
+                    client_seed_factory(slot, int(client))
+                    for slot, client in zip(draw.participating_slots, participants)
+                ]
+            else:
+                if client_seeds is None:
+                    raise ValueError(
+                        "client_seeds (or client_seed_factory) is required when "
+                        "running with an executor"
+                    )
+                if len(client_seeds) < len(selected):
+                    raise ValueError("need one client seed per selected client")
+                participant_seeds = [client_seeds[slot] for slot in draw.participating_slots]
             results = executor.run_clients(
                 participants, self.global_weights, round_index, participant_seeds
             )
@@ -246,5 +278,6 @@ class FederatedServer:
             dropped_clients=list(draw.dropped),
             straggler_clients=list(draw.stragglers),
         )
-        self.round_results.append(outcome)
+        if self.keep_round_results:
+            self.round_results.append(outcome)
         return outcome

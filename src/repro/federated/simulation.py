@@ -27,20 +27,21 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.data.partition import partition_dataset
+from repro.data.population import LazyClientPopulation
 from repro.data.synthetic import generate_train_val
 from repro.nn import build_model_for_dataset, evaluate_accuracy
 from repro.privacy.ledger import AccountingContext, make_accountant
 
 from .availability import AvailabilityModel
-from .client import FederatedClient
+from .client import FederatedClient, LazyClientRoster
 from .config import PRIVATE_METHODS, FederatedConfig
-from .executor import make_executor, spawn_client_seeds
+from .executor import client_id_seed_sequence, make_executor, spawn_client_seeds
+from .history import RoundSpool, round_result_from_payload, round_result_to_payload
 from .server import AttackRecord, FederatedServer, RoundResult
 
 __all__ = ["SimulationHistory", "FederatedSimulation", "CHECKPOINT_FORMAT_VERSION"]
@@ -57,7 +58,10 @@ class SimulationHistory:
     config: FederatedConfig
     #: validation accuracy indexed by round (only rounds where evaluation ran)
     accuracy_by_round: Dict[int, float] = field(default_factory=dict)
-    #: per-round summaries from the server
+    #: per-round summaries from the server — a plain list by default, or a
+    #: disk-backed :class:`~repro.federated.history.RoundSpool` when the
+    #: simulation streams its history (both expose the same sequence
+    #: interface, so every consumer below works unchanged)
     rounds: List[RoundResult] = field(default_factory=list)
     #: privacy spending epsilon after each round (empty for non-private runs);
     #: under the ``heterogeneous`` accountant this is the worst-case
@@ -158,22 +162,9 @@ class SimulationHistory:
         def de_nan(value: float):
             return None if isinstance(value, float) and np.isnan(value) else value
 
-        rounds = []
-        for result in self.rounds:
-            payload = asdict(result)
-            payload["mean_loss"] = de_nan(payload["mean_loss"])
-            # mirror the config convention: the attacks key is omitted at its
-            # default (no attack ran), so unattacked checkpoints and fixtures
-            # stay byte-identical to their pre-attack-era form
-            if payload["attacks"]:
-                for attack in payload["attacks"]:
-                    # a bit-perfect reconstruction has infinite PSNR, which
-                    # strict RFC-8259 JSON cannot carry
-                    if not np.isfinite(attack["psnr"]):
-                        attack["psnr"] = None
-            else:
-                del payload["attacks"]
-            rounds.append(payload)
+        # one shared serialiser with the round spool, so a spooled round and
+        # a checkpointed round are the same bytes (see repro.federated.history)
+        rounds = [round_result_to_payload(result) for result in self.rounds]
         payload = {
             "config": self.config.to_dict(),
             "accuracy_by_round": {str(k): v for k, v in self.accuracy_by_round.items()},
@@ -192,22 +183,7 @@ class SimulationHistory:
     def from_dict(cls, payload: dict, config: Optional[FederatedConfig] = None) -> "SimulationHistory":
         """Inverse of :meth:`to_dict` (derived summary fields are recomputed)."""
         config = config if config is not None else FederatedConfig.from_dict(payload["config"])
-        rounds = []
-        for entry in payload["rounds"]:
-            entry = dict(entry)
-            # payloads written before the availability layer existed carry no
-            # participation bookkeeping; back then every selected client participated
-            entry.setdefault("participating_clients", list(entry["selected_clients"]))
-            if entry["mean_loss"] is None:  # skipped round, serialised as null
-                entry["mean_loss"] = float("nan")
-            attacks = []
-            for attack in entry.get("attacks", []):
-                attack = dict(attack)
-                if attack["psnr"] is None:  # infinite PSNR, serialised as null
-                    attack["psnr"] = float("inf")
-                attacks.append(AttackRecord(**attack))
-            entry["attacks"] = attacks
-            rounds.append(RoundResult(**entry))
+        rounds = [round_result_from_payload(entry) for entry in payload["rounds"]]
         return cls(
             config=config,
             accuracy_by_round={int(k): float(v) for k, v in payload["accuracy_by_round"].items()},
@@ -227,10 +203,16 @@ class FederatedSimulation:
         val_dataset=None,
         model=None,
         trainer=None,
+        history_spool: Optional[str] = None,
+        history_tail: int = 64,
     ) -> None:
         self.config = config
         self.rng = np.random.default_rng(config.seed)
 
+        # remember whether the caller supplied its own data: multiprocessing
+        # workers either regenerate the default dataset from the config or
+        # receive the custom one over the wire (see make_executor below)
+        custom_data = train_dataset is not None
         if train_dataset is None or val_dataset is None:
             train_dataset, val_dataset = generate_train_val(
                 config.spec, config.num_train_examples, config.num_val_examples, seed=config.seed
@@ -256,7 +238,11 @@ class FederatedSimulation:
             trainer = make_trainer(config.method, self.model, config)
         self.trainer = trainer
 
-        self.shards = partition_dataset(
+        # The population derives any client's shard on demand from
+        # (seed, strategy, client_id); it consumes the main RNG exactly as the
+        # historical eager partitioning did, so eager and lazy runs share one
+        # trajectory (see docs/cross_device_scale.md)
+        self.population = LazyClientPopulation(
             self.train_dataset,
             config.spec,
             config.num_clients,
@@ -266,11 +252,23 @@ class FederatedSimulation:
             dirichlet_alpha=config.dirichlet_alpha,
             quantity_skew_exponent=config.quantity_skew_exponent,
         )
-        self.clients = [
-            FederatedClient(client_id, shard, self.trainer)
-            for client_id, shard in enumerate(self.shards)
-        ]
-        self.executor = make_executor(config, self.clients, self.shards)
+        if config.resolved_client_state == "eager":
+            self.shards = self.population.materialize()
+            self.clients = [
+                FederatedClient(client_id, shard, self.trainer)
+                for client_id, shard in enumerate(self.shards)
+            ]
+        else:
+            # cross-device scale: no per-client object exists until the
+            # round's sampled cohort is indexed
+            self.shards = None
+            self.clients = LazyClientRoster(self.population, self.trainer)
+        self.executor = make_executor(
+            config,
+            self.clients,
+            train_dataset=self.train_dataset,
+            dataset_from_config=not custom_data,
+        )
 
         sanitizer = None
         if config.method == "fed_sdp" and config.sdp_server_side:
@@ -281,6 +279,9 @@ class FederatedSimulation:
             update_sanitizer=sanitizer,
             compression_ratio=config.compression_ratio,
             client_sampling=config.client_sampling,
+            # with a disk spool the history owns the rounds; the server must
+            # not mirror them in an unbounded in-RAM list
+            keep_round_results=history_spool is None,
         )
         self.availability = AvailabilityModel.from_config(config)
         # lazy import: the attack stack (scipy's optimiser) is only paid for
@@ -296,11 +297,13 @@ class FederatedSimulation:
         # per-client rates (docs/privacy_accounting.md)
         self.accountant = make_accountant(
             config.accountant,
-            context=AccountingContext.from_config(
-                config, [len(shard) for shard in self.shards]
-            ),
+            context=AccountingContext.from_config(config, self.population.shard_sizes()),
         )
         self.history = SimulationHistory(config=config)
+        self._history_spool = history_spool
+        self._history_tail = int(history_tail)
+        if history_spool is not None:
+            self.history.rounds = RoundSpool(history_spool, tail_window=history_tail)
         self._completed_rounds = 0
 
     # ------------------------------------------------------------------
@@ -334,14 +337,7 @@ class FederatedSimulation:
         total_rounds = rounds if rounds is not None else self.config.rounds
         history = self.history
         is_private = self.config.method in PRIVATE_METHODS
-        # Poisson sampling may select any subset of the population, so spawn a
-        # seed stream per possible slot; spawned children depend only on their
-        # index, so over-spawning never changes the streams that are used.
-        seed_slots = (
-            self.config.num_clients
-            if self.config.client_sampling == "poisson"
-            else self.config.clients_per_round
-        )
+        poisson = self.config.client_sampling == "poisson"
         budget = self.config.epsilon_budget if is_private else None
         for round_index in range(self._completed_rounds, total_rounds):
             if budget is not None and self._round_would_exceed_budget(round_index, budget):
@@ -350,7 +346,25 @@ class FederatedSimulation:
                 # run reaches the identical stopping decision
                 history.budget_stop_round = round_index
                 break
-            client_seeds = spawn_client_seeds(self.config.seed, round_index, seed_slots)
+            if poisson:
+                # a Poisson draw may contain any subset of the population;
+                # keying training streams on the *client id* spawns seeds only
+                # for the drawn cohort (O(cohort), not O(K) — a hard
+                # requirement at cross-device scale) while staying independent
+                # of scheduling, backend and the rest of the draw
+                client_seeds = None
+                seed_factory = (
+                    lambda slot, client_id, _round=round_index: client_id_seed_sequence(
+                        self.config.seed, _round, client_id
+                    )
+                )
+            else:
+                # fixed-size sampling keeps the historical per-slot spawn the
+                # committed golden trajectories depend on
+                client_seeds = spawn_client_seeds(
+                    self.config.seed, round_index, self.config.clients_per_round
+                )
+                seed_factory = None
             attack_this_round = (
                 self.attack_schedule is not None
                 and self.attack_schedule.is_attack_round(round_index)
@@ -367,6 +381,7 @@ class FederatedSimulation:
                 executor=self.executor,
                 client_seeds=client_seeds,
                 availability=self.availability if self.availability.active else None,
+                client_seed_factory=seed_factory,
             )
             if attack_this_round and not result.skipped:
                 # observational only: the attack consumes its own RNG domain
@@ -476,10 +491,13 @@ class FederatedSimulation:
             executor=self.config.executor,
             num_workers=self.config.num_workers,
             rounds=self.config.rounds,
+            client_state=self.config.client_state,
+            worker_chunk_size=self.config.worker_chunk_size,
         ) != self.config or self.config.rounds < checkpoint_config.rounds:
             raise ValueError(
                 "checkpoint config does not match this simulation's config "
-                "(only executor/num_workers may differ, and rounds may only grow)"
+                "(only executor/num_workers/client_state/worker_chunk_size may "
+                "differ, and rounds may only grow)"
             )
         self.server.global_weights = [
             np.array(w, dtype=np.float64) for w in state["global_weights"]
@@ -487,6 +505,12 @@ class FederatedSimulation:
         self.rng.bit_generator.state = state["rng_state"]
         self.accountant.load_state_dict(state["accountant"])
         self.history = SimulationHistory.from_dict(state["history"], config=self.config)
+        if self._history_spool is not None:
+            # re-spool the restored rounds so the resumed run appends to a
+            # fresh spool file and keeps only the tail window in RAM
+            spool = RoundSpool(self._history_spool, tail_window=self._history_tail)
+            spool.extend(self.history.rounds)
+            self.history.rounds = spool
         self._completed_rounds = int(state["completed_rounds"])
 
     def save_checkpoint(self, path: str) -> None:
@@ -510,13 +534,21 @@ class FederatedSimulation:
         executor: Optional[str] = None,
         num_workers: Optional[int] = None,
         rounds: Optional[int] = None,
+        client_state: Optional[str] = None,
+        worker_chunk_size: Optional[int] = None,
+        history_spool: Optional[str] = None,
+        history_tail: int = 64,
     ) -> "FederatedSimulation":
         """Rebuild a simulation from a checkpoint and position it to resume.
 
-        ``executor`` and ``num_workers`` may override the checkpointed values
-        — they are runtime choices that do not affect the numerics (both
-        backends consume identical RNG streams).  ``rounds`` may extend the
-        run ("resume and keep going"); it is applied *before* the simulation
+        ``executor``, ``num_workers``, ``client_state`` and
+        ``worker_chunk_size`` may override the checkpointed values — they are
+        runtime choices that do not affect the numerics (both backends and
+        both client-state modes consume identical RNG streams).
+        ``history_spool`` / ``history_tail`` stream the resumed history to a
+        fresh disk spool (see docs/cross_device_scale.md).  ``rounds`` may
+        extend the run ("resume and keep going"); it is applied *before* the
+        simulation
         is rebuilt, so round-count-dependent state — notably the
         Fed-CDP(decay) clipping schedule — spans the new horizon, matching
         what a fresh run of the extended length would use for the remaining
@@ -532,6 +564,10 @@ class FederatedSimulation:
             overrides["executor"] = executor
         if num_workers is not None:
             overrides["num_workers"] = num_workers
+        if client_state is not None:
+            overrides["client_state"] = client_state
+        if worker_chunk_size is not None:
+            overrides["worker_chunk_size"] = worker_chunk_size
         if rounds is not None:
             if rounds < config.rounds:
                 raise ValueError(
@@ -541,7 +577,7 @@ class FederatedSimulation:
             overrides["rounds"] = rounds
         if overrides:
             config = config.with_overrides(**overrides)
-        simulation = cls(config)
+        simulation = cls(config, history_spool=history_spool, history_tail=history_tail)
         simulation.load_state_dict(state)
         return simulation
 

@@ -1,0 +1,38 @@
+"""Domain-separated RNG roots shared by every subsystem.
+
+Every source of randomness outside a simulation's main generator — client
+training streams, availability draws, in-loop attack draws, per-client
+partition derivation, Poisson cohort selection — derives its streams from a
+:class:`numpy.random.SeedSequence` built here.  Because the entropy tuple
+contains only the config seed, the subsystem's domain tag and the caller's
+structural key (round index, slot, client id, restart index, ...), the
+resulting streams are independent of the execution backend, of scheduling
+order, of how many rounds ran before, and — crucially for cross-device scale
+(see ``docs/cross_device_scale.md``) — of the *population size*: client
+``k``'s stream is the same whether the run simulates 100 clients or a
+million.
+
+This module lives at the top of the package so the data layer can key
+per-client derivations without importing :mod:`repro.federated` (which itself
+imports :mod:`repro.data`).  :func:`repro.federated.executor.
+domain_seed_sequence` re-exports it unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["domain_seed_sequence"]
+
+
+def domain_seed_sequence(seed: int, domain: int, *key: int) -> np.random.SeedSequence:
+    """Root ``SeedSequence`` of one RNG domain, keyed on ``(seed, domain, *key)``.
+
+    ``domain`` is a per-subsystem tag (see the registry of tags in
+    :mod:`repro.federated.executor`); ``key`` is the caller's structural
+    coordinates.  Two calls with the same arguments return equal sequences;
+    any differing coordinate yields an independent stream.
+    """
+    return np.random.SeedSequence(
+        entropy=(int(seed), int(domain)) + tuple(int(k) for k in key)
+    )

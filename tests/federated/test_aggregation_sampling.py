@@ -98,18 +98,31 @@ def test_sample_clients_poisson(rng):
 
 
 def test_sample_clients_poisson_may_return_empty_and_is_deterministic():
-    # exact Poisson subsampling: a single rng.random(num_clients) draw, which
-    # may legitimately come up empty — the simulation skips such rounds
-    rng = np.random.default_rng(0)
-    empty = sample_clients_poisson(5, 1e-9, rng=rng)
+    # exact Binomial(K, q) subsampling that never enumerates the population:
+    # the cohort size is one binomial draw and the member ids are then drawn
+    # without replacement, so the cost is O(cohort) even for K in the millions.
+    # The draw may legitimately come up empty — the simulation skips such rounds
+    empty = sample_clients_poisson(5, 1e-9, rng=np.random.default_rng(0))
     assert empty == []
-    # exactly one vector draw was consumed: the next value is predictable
-    expected_next = np.random.default_rng(0).random(5 + 1)[-1]
-    assert rng.random() == expected_next
     # same seed => same selection
     a = sample_clients_poisson(100, 0.2, rng=np.random.default_rng(42))
     b = sample_clients_poisson(100, 0.2, rng=np.random.default_rng(42))
     assert a == b
+    assert a == sorted(set(a))
+
+
+def test_sample_clients_poisson_dense_draws_and_scale():
+    # the complement path (q > 1/2) returns sorted distinct ids as well
+    dense = sample_clients_poisson(100, 0.95, rng=np.random.default_rng(7))
+    assert dense == sorted(set(dense))
+    assert 80 <= len(dense) <= 100
+    # q = 1 deterministically selects everyone
+    assert sample_clients_poisson(10, 1.0, rng=np.random.default_rng(0)) == list(range(10))
+    # a million-client draw at q = 1e-5 touches only the tiny cohort
+    huge = sample_clients_poisson(1_000_000, 1e-5, rng=np.random.default_rng(1))
+    assert len(huge) < 100
+    assert huge == sorted(set(huge))
+    assert all(0 <= client < 1_000_000 for client in huge)
 
 
 def test_prune_update_sparsity_and_magnitude_ordering(rng):

@@ -107,8 +107,11 @@ def test_make_executor_selects_backend():
     serial_config = quick_config("cancer", "nonprivate")
     mp_config = serial_config.with_overrides(executor="multiprocessing", num_workers=2)
     simulation = FederatedSimulation(serial_config)
-    assert isinstance(make_executor(serial_config, simulation.clients, simulation.shards), SerialClientExecutor)
-    executor = make_executor(mp_config, simulation.clients, simulation.shards)
+    assert isinstance(
+        make_executor(serial_config, simulation.clients, train_dataset=simulation.train_dataset),
+        SerialClientExecutor,
+    )
+    executor = make_executor(mp_config, simulation.clients, train_dataset=simulation.train_dataset)
     assert isinstance(executor, MultiprocessingClientExecutor)
     assert executor.num_workers == 2
     executor.close()  # no pool was started; close must be a no-op
@@ -216,7 +219,8 @@ def test_make_executor_selects_fused_backend():
     config = quick_config("cancer", "fed_cdp", executor="fused")
     simulation = FederatedSimulation(config)
     assert isinstance(
-        make_executor(config, simulation.clients, simulation.shards), BatchFusedClientExecutor
+        make_executor(config, simulation.clients, train_dataset=simulation.train_dataset),
+        BatchFusedClientExecutor,
     )
 
 

@@ -1,0 +1,227 @@
+"""Cross-device scale regression suite (docs/cross_device_scale.md).
+
+Three guarantees of the lazy client-state architecture are locked in here:
+
+* **Numerics-neutrality** — ``client_state="lazy"`` and the streamed history
+  spool change *where* state lives, never *what* is computed: trajectories
+  are bit-identical to eager in-RAM runs, across backends, and across
+  checkpoint/resume.
+* **Bounded memory** — a million-client population with a q = 0.1% Poisson
+  cohort runs in a laptop-sized memory envelope: construction cost is
+  O(dataset + cohort), not O(K), and a spooled history keeps only its tail
+  window in RAM no matter the horizon.
+* **Sub-population independence** — per-round work touches only the sampled
+  cohort (the seeds, shards and availability draws of undrawn clients are
+  never computed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.harness import quick_config
+from repro.federated.config import LAZY_CLIENT_STATE_THRESHOLD
+from repro.federated.history import RoundSpool
+from repro.federated.simulation import FederatedSimulation, SimulationHistory
+
+
+def _scrub_timings(payload: dict) -> dict:
+    """Drop the wall-clock fields (the only legitimately nondeterministic ones)."""
+    payload = json.loads(json.dumps(payload))
+    payload.pop("mean_time_per_iteration_ms", None)
+    payload.pop("wall_clock_seconds", None)
+    for entry in payload["rounds"]:
+        entry.pop("mean_time_per_iteration_ms", None)
+    return payload
+
+
+def _run_history_dict(config, **sim_kwargs) -> dict:
+    with FederatedSimulation(config, **sim_kwargs) as simulation:
+        history = simulation.run()
+    payload = history.to_dict()
+    # normalise the fields that legitimately differ between the variants
+    for key in ("client_state", "executor", "num_workers", "worker_chunk_size"):
+        payload["config"].pop(key, None)
+    return _scrub_timings(payload)
+
+
+def _rss_mb() -> float:
+    """Current resident set size in MB (Linux), robust to prior test noise.
+
+    ``ru_maxrss`` is a high-water mark polluted by whatever ran earlier in
+    the session; ``/proc/self/statm`` gives the *current* RSS, so a
+    before/after delta isolates this test's own allocations.
+    """
+    with open("/proc/self/statm") as handle:
+        pages = int(handle.read().split()[1])
+    return pages * os.sysconf("SC_PAGE_SIZE") / 1e6
+
+
+BASE = dict(
+    rounds=3,
+    eval_every=1,
+    seed=77,
+    client_sampling="poisson",
+    local_iterations=2,
+    data_per_client=8,
+)
+
+
+# ----------------------------------------------------------------------
+# Numerics-neutrality
+# ----------------------------------------------------------------------
+def test_lazy_client_state_is_bit_identical_to_eager():
+    config = quick_config("adult", "fed_cdp", **BASE)
+    eager = _run_history_dict(config.with_overrides(client_state="eager"))
+    lazy = _run_history_dict(config.with_overrides(client_state="lazy"))
+    assert eager == lazy
+
+
+def test_lazy_poisson_serial_matches_multiprocessing():
+    config = quick_config(
+        "adult", "nonprivate", client_state="lazy", **BASE
+    )
+    serial = _run_history_dict(config)
+    parallel = _run_history_dict(
+        config.with_overrides(executor="multiprocessing", num_workers=2)
+    )
+    assert serial == parallel
+    chunked = _run_history_dict(
+        config.with_overrides(
+            executor="multiprocessing", num_workers=2, worker_chunk_size=1
+        )
+    )
+    assert serial == chunked
+
+
+def test_auto_client_state_thresholds_on_population_size():
+    small = quick_config("adult", "nonprivate")
+    assert small.resolved_client_state == "eager"
+    large = small.with_overrides(num_clients=LAZY_CLIENT_STATE_THRESHOLD)
+    assert large.resolved_client_state == "lazy"
+    assert small.with_overrides(client_state="lazy").resolved_client_state == "lazy"
+
+
+# ----------------------------------------------------------------------
+# Streamed history: spool equivalence and checkpoint/resume round trips
+# ----------------------------------------------------------------------
+def test_spooled_history_matches_in_memory_history(tmp_path):
+    config = quick_config("adult", "nonprivate", **BASE)
+    plain = _run_history_dict(config)
+    spool_path = str(tmp_path / "rounds.jsonl")
+    spooled = _run_history_dict(config, history_spool=spool_path, history_tail=1)
+    assert plain == spooled
+    # the spool file itself carries one checkpoint-identical JSON line per round
+    with open(spool_path) as handle:
+        lines = [json.loads(line) for line in handle]
+    assert [_scrub_timings({"rounds": [line]})["rounds"][0] for line in lines] == plain["rounds"]
+
+
+def test_spool_round_trip_preserves_round_results(tmp_path):
+    config = quick_config("adult", "nonprivate", dropout_rate=0.3, **BASE)
+    with FederatedSimulation(config) as simulation:
+        history = simulation.run()
+    spool = RoundSpool(str(tmp_path / "spool.jsonl"), tail_window=2)
+    spool.extend(history.rounds)
+    assert len(spool) == len(history.rounds)
+    assert spool.in_memory_rounds() <= 2
+    for original, restored in zip(history.rounds, spool):
+        left = SimulationHistory(config=config, rounds=[original]).to_dict()["rounds"]
+        right = SimulationHistory(config=config, rounds=[restored]).to_dict()["rounds"]
+        assert left == right
+    spool.close()
+
+
+def test_spooled_checkpoint_resume_is_exact(tmp_path):
+    config = quick_config("adult", "nonprivate", **BASE)
+    reference = _run_history_dict(config)
+
+    checkpoint = str(tmp_path / "ck.json")
+    with FederatedSimulation(
+        config, history_spool=str(tmp_path / "a.jsonl"), history_tail=1
+    ) as simulation:
+        simulation.run(rounds=2, checkpoint_path=checkpoint)
+
+    resumed = FederatedSimulation.from_checkpoint(
+        checkpoint, history_spool=str(tmp_path / "b.jsonl"), history_tail=1
+    )
+    with resumed:
+        history = resumed.run()
+    payload = history.to_dict()
+    for key in ("client_state", "executor", "num_workers", "worker_chunk_size"):
+        payload["config"].pop(key, None)
+    assert _scrub_timings(payload) == reference
+    assert history.rounds.in_memory_rounds() <= 1
+    # resuming may also switch client state: the checkpoint pins numerics only
+    resumed_lazy = FederatedSimulation.from_checkpoint(checkpoint, client_state="lazy")
+    with resumed_lazy:
+        lazy_history = resumed_lazy.run()
+    lazy_payload = lazy_history.to_dict()
+    for key in ("client_state", "executor", "num_workers", "worker_chunk_size"):
+        lazy_payload["config"].pop(key, None)
+    assert _scrub_timings(lazy_payload) == reference
+
+
+# ----------------------------------------------------------------------
+# Bounded memory at cross-device scale
+# ----------------------------------------------------------------------
+def test_million_client_run_is_memory_bounded(tmp_path):
+    """1M clients, q = 0.1% Poisson: the run must never materialise the
+    population — peak RSS stays laptop-sized and history RAM stays flat."""
+    config = quick_config(
+        "adult",
+        "nonprivate",
+        num_clients=1_000_000,
+        participation_fraction=0.001,  # ~1000-client cohorts
+        rounds=2,
+        eval_every=2,
+        seed=5,
+        client_sampling="poisson",
+        local_iterations=1,
+        data_per_client=8,
+    )
+    assert config.resolved_client_state == "lazy"
+    before = _rss_mb()
+    with FederatedSimulation(
+        config, history_spool=str(tmp_path / "spool.jsonl"), history_tail=4
+    ) as simulation:
+        history = simulation.run()
+    delta = _rss_mb() - before
+    # an eager population alone would need >= K * data_per_client * 8 bytes
+    # of float64 features (~450 MB for adult's 6 features at 8 rows); the lazy
+    # path allocates O(dataset + cohort + accounting) instead
+    assert delta < 300, f"1M-client run grew RSS by {delta:.0f} MB"
+    assert len(history.rounds) == 2
+    assert history.rounds.in_memory_rounds() <= 4
+    assert all(len(r.selected_clients) > 0 for r in history.rounds)
+    cohort_sizes = [len(r.selected_clients) for r in history.rounds]
+    # Binomial(1e6, 1e-3) concentrates tightly around 1000
+    assert all(700 <= size <= 1300 for size in cohort_sizes)
+    assert not simulation.server.round_results  # spool mode: no server mirror
+
+
+def test_population_construction_cost_is_population_size_independent():
+    """Building a simulation over 200k clients must cost O(dataset), not O(K):
+    the lazy path derives shards on demand, so construction allocates no
+    per-client object."""
+    config = quick_config(
+        "adult",
+        "nonprivate",
+        num_clients=200_000,
+        participation_fraction=0.00005,
+        rounds=1,
+        eval_every=1,
+        seed=9,
+        client_sampling="poisson",
+        local_iterations=1,
+        data_per_client=8,
+    )
+    before = _rss_mb()
+    simulation = FederatedSimulation(config)
+    delta = _rss_mb() - before
+    assert delta < 80, f"200k-client construction grew RSS by {delta:.0f} MB"
+    # only the sampled cohort is ever instantiated
+    history = simulation.run()
+    assert len(history.rounds) == 1
+    simulation.close()
