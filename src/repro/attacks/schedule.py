@@ -5,12 +5,28 @@ snapshot in isolation; this module puts the adversary *inside*
 :class:`~repro.federated.simulation.FederatedSimulation`.  An
 :class:`AttackSchedule` — declared on the
 :class:`~repro.federated.config.FederatedConfig` via the ``attack*`` fields —
-designates the rounds and clients to strike.  At each attacked round the
-adversary intercepts a participating client's round share and runs the
-batched multi-restart reconstruction of :mod:`repro.attacks.multistart`
-against it, producing one :class:`~repro.federated.server.AttackRecord` per
-attacked client that rides on the round's ``RoundResult`` into the history,
-the checkpoints and the golden-trajectory fixtures.
+designates the rounds and clients to strike, with three adversary kinds:
+
+``leakage``
+    The fixed-budget gradient-reconstruction attack: at each attacked round
+    the adversary intercepts a participating client's round share and runs
+    the batched multi-restart reconstruction of
+    :mod:`repro.attacks.multistart` against it, producing one
+    :class:`~repro.federated.server.AttackRecord` per attacked client.
+``adaptive``
+    The same reconstruction, but the restart/iteration budget is tuned per
+    observation from the observed gradient norm
+    (:mod:`repro.attacks.adaptive`): heavily sanitised observations earn a
+    larger budget, crisp ones a smaller — the DLG-line's "evaluate against
+    adaptive, not fixed, adversaries" requirement.
+``membership``
+    The loss-threshold membership inference audit
+    (:mod:`repro.core.membership_inference`) of each attacked round's
+    *released* global weights ``W(t+1)``: the attacked client's shard plays
+    the members, a same-size held-out sample the non-members, and the
+    per-client AUC/advantage land in
+    :class:`~repro.federated.server.MIARecord` entries next to the
+    reconstruction records.
 
 Threat model
 ------------
@@ -18,44 +34,64 @@ Following the paper's Figure-1 setup (and the harness's type-0 observation),
 the leaked quantity at round ``t`` is the client's *sanitised* gradient at
 the broadcast global weights ``W(t)`` over one private probe example drawn
 from its realised shard: exact for the non-private baseline, per-update
-noised for Fed-SDP, per-example clipped-and-noised for Fed-CDP.  The attack
-is purely observational — it never mutates server state, trainer state or
-the simulation's main RNG, so an attacked run's training trajectory is
-bit-identical to the same run without the adversary (regression-tested).
+noised for Fed-SDP, per-example clipped-and-noised for Fed-CDP.  When the
+config wires in secure aggregation, the server-side adversary only ever sees
+the client's *masked* upload, so the observation carries the round's
+pairwise mask as well.  Every adversary here is purely observational — it
+never mutates server state, trainer state or the simulation's main RNG, so
+an attacked run's training trajectory is bit-identical to the same run
+without the adversary (regression-tested).
 
 Determinism
 -----------
-Every draw the adversary consumes (probe-example choice, the observation's
-sanitisation noise, each restart's dummy seed) comes from
-:func:`repro.federated.executor.domain_seed_sequence` under the dedicated
-:data:`ATTACK_DOMAIN` tag, keyed on ``(config seed, domain, round, client)``
-— plus the restart index for dummy seeds.  The streams are therefore
-independent of the execution backend (serial ≡ multiprocessing bit-
-identically), of scheduling, and of how many rounds ran before (exact
-checkpoint resume mid-schedule).
+Every draw an adversary consumes (probe-example choice, the observation's
+sanitisation draws, each restart's dummy seed, the non-member sample) comes
+from :func:`repro.federated.executor.domain_seed_sequence` under a
+kind-dedicated domain tag — :data:`ATTACK_DOMAIN` for ``leakage``,
+:data:`~repro.attacks.adaptive.ADAPTIVE_ATTACK_DOMAIN` for ``adaptive``,
+:data:`MEMBERSHIP_ATTACK_DOMAIN` for ``membership`` — keyed on ``(config
+seed, domain, round, client)`` plus the restart index for dummy seeds.  The
+streams are therefore independent of the execution backend (serial ≡
+multiprocessing bit-identically), of scheduling, and of how many rounds ran
+before (exact checkpoint resume mid-schedule).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.membership_inference import loss_threshold_attack
 from repro.federated.config import ATTACK_KINDS, FederatedConfig
 from repro.federated.executor import domain_seed_sequence
-from repro.federated.server import AttackRecord
+from repro.federated.secure_aggregation import RoundSecureAggregator
+from repro.federated.server import AttackRecord, MIARecord
 
+from .adaptive import ADAPTIVE_ATTACK_DOMAIN, observed_update_norm, tune_attack_budget
 from .multistart import MultiRestartReconstruction
 from .reconstruction import AttackConfig
 from .threat import GradientLeakageThreat
 
-__all__ = ["ATTACK_DOMAIN", "AttackSchedule", "resolve_attack_rounds"]
+__all__ = [
+    "ATTACK_DOMAIN",
+    "MEMBERSHIP_ATTACK_DOMAIN",
+    "AttackSchedule",
+    "resolve_attack_rounds",
+]
 
 
-#: Domain-separation tag for all in-loop attack RNG streams (distinct from
-#: the client-training and availability domains — see
-#: :mod:`repro.federated.executor`).
+#: Domain-separation tag for the fixed-budget ``leakage`` adversary's RNG
+#: streams (distinct from the client-training and availability domains — see
+#: :mod:`repro.federated.executor`).  The ``adaptive`` and ``membership``
+#: kinds use their own sibling tags, so no two adversary kinds ever consume
+#: correlated randomness.
 ATTACK_DOMAIN = 0x0A77AC4
+
+#: Domain-separation tag for the in-loop membership inference audit (the
+#: non-member sample draw).
+MEMBERSHIP_ATTACK_DOMAIN = 0x0331A75
 
 
 def _every_step(spec: str) -> int:
@@ -135,31 +171,68 @@ class AttackSchedule:
         broadcast_weights: Sequence[np.ndarray],
         participating: Sequence[int],
         round_index: int,
-    ) -> List[AttackRecord]:
+        released_weights: Optional[Sequence[np.ndarray]] = None,
+        nonmember_dataset=None,
+    ) -> Tuple[List[AttackRecord], List[MIARecord]]:
         """Attack every targeted participant of one round.
 
         ``broadcast_weights`` must be the global weights ``W(t)`` the round's
-        cohort trained from (captured *before* aggregation).  Returns one
-        record per attacked client, in participation order.
+        cohort trained from (captured *before* aggregation);
+        ``released_weights`` the post-aggregation ``W(t+1)`` the membership
+        audit targets, with ``nonmember_dataset`` supplying its held-out
+        non-members.  Returns ``(reconstruction records, membership
+        records)`` — exactly one of the two is non-empty, in participation
+        order.
         """
-        records: List[AttackRecord] = []
+        attacks: List[AttackRecord] = []
+        audits: List[MIARecord] = []
+        if self.kind == "membership":
+            if released_weights is None or nonmember_dataset is None:
+                raise ValueError(
+                    "the membership audit needs the released weights and a "
+                    "non-member dataset"
+                )
+            for client_id in self.target_clients(participating):
+                audits.append(
+                    self._audit_client(
+                        trainer, clients[client_id], released_weights, round_index,
+                        nonmember_dataset,
+                    )
+                )
+            return attacks, audits
+        # under secure aggregation the server-side adversary observes the
+        # masked upload: the round's pairwise mask rides on the observation
+        masker = None
+        if self.config.secure_aggregation:
+            masker = RoundSecureAggregator(
+                participating,
+                self.config.seed,
+                round_index,
+                mask_scale=self.config.secure_mask_scale,
+            )
         for client_id in self.target_clients(participating):
-            records.append(
+            attacks.append(
                 self._attack_client(
-                    trainer, clients[client_id], broadcast_weights, round_index
+                    trainer, clients[client_id], broadcast_weights, round_index, masker
                 )
             )
-        return records
+        return attacks, audits
 
     def _attack_client(
-        self, trainer, client, broadcast_weights: Sequence[np.ndarray], round_index: int
+        self,
+        trainer,
+        client,
+        broadcast_weights: Sequence[np.ndarray],
+        round_index: int,
+        masker: Optional[RoundSecureAggregator] = None,
     ) -> AttackRecord:
         seed = self.config.seed
         client_id = client.client_id
+        domain = ADAPTIVE_ATTACK_DOMAIN if self.kind == "adaptive" else ATTACK_DOMAIN
         # one stream per (round, client) for the probe choice and the
         # observation's sanitisation draws; one per restart for dummy seeds
         observation_rng = np.random.default_rng(
-            domain_seed_sequence(seed, ATTACK_DOMAIN, round_index, client_id)
+            domain_seed_sequence(seed, domain, round_index, client_id)
         )
         probe = int(observation_rng.integers(0, client.num_examples))
         features = client.dataset.features[probe : probe + 1]
@@ -176,14 +249,31 @@ class AttackSchedule:
             round_index=round_index,
             rng=observation_rng,
         )
+        observed_gradients = observation.gradients
+        if masker is not None:
+            observed_gradients = masker.mask_update(int(client_id), observed_gradients)
+
+        restarts = self.restarts
+        attack_config = self.attack_config
+        if self.kind == "adaptive":
+            # tune the budget to the observation: the defender's announced
+            # clipping bound is the adversary's reference for "unsanitised"
+            budget = tune_attack_budget(
+                observed_update_norm(observed_gradients),
+                self.config.clipping_bound,
+                base_restarts=self.restarts,
+                base_iterations=int(self.config.attack_iterations),
+            )
+            restarts = budget.restarts
+            attack_config = replace(self.attack_config, max_iterations=budget.iterations)
 
         restart_seeds = [
-            domain_seed_sequence(seed, ATTACK_DOMAIN, round_index, client_id, restart)
-            for restart in range(self.restarts)
+            domain_seed_sequence(seed, domain, round_index, client_id, restart)
+            for restart in range(restarts)
         ]
-        attack = MultiRestartReconstruction(trainer.model, self.attack_config)
+        attack = MultiRestartReconstruction(trainer.model, attack_config)
         result = attack.run(
-            observation.gradients,
+            observed_gradients,
             features.shape[1:],
             restart_seeds,
             ground_truth=features[0],
@@ -199,4 +289,44 @@ class AttackSchedule:
             final_loss=float(result.final_loss),
             best_restart=int(result.best_restart),
             restarts=int(result.restarts),
+        )
+
+    def _audit_client(
+        self,
+        trainer,
+        client,
+        released_weights: Sequence[np.ndarray],
+        round_index: int,
+        nonmember_dataset,
+    ) -> MIARecord:
+        """Membership-audit one client against the round's released model."""
+        client_id = int(client.client_id)
+        audit_rng = np.random.default_rng(
+            domain_seed_sequence(
+                self.config.seed, MEMBERSHIP_ATTACK_DOMAIN, round_index, client_id
+            )
+        )
+        members = client.dataset
+        count = min(len(members), len(nonmember_dataset))
+        picks = np.sort(audit_rng.choice(len(nonmember_dataset), size=count, replace=False))
+        # the audited model is the released aggregate; the trainer's model is
+        # re-set from the authoritative weights before every other use, so
+        # borrowing it here stays observational
+        trainer.model.set_weights([np.array(w, copy=True) for w in released_weights])
+        result = loss_threshold_attack(
+            trainer.model,
+            members.features,
+            members.labels,
+            nonmember_dataset.features[picks],
+            nonmember_dataset.labels[picks],
+        )
+        return MIARecord(
+            client_id=client_id,
+            auc=float(result.auc),
+            advantage=float(result.advantage),
+            accuracy=float(result.accuracy),
+            mean_member_loss=float(result.mean_member_loss),
+            mean_nonmember_loss=float(result.mean_nonmember_loss),
+            members=int(len(members)),
+            nonmembers=int(count),
         )

@@ -17,7 +17,8 @@ Four subcommands cover the reproduction workflow:
     :mod:`repro.experiments`) and print their plain-text renderings.
 
 ``scenarios``
-    Sweep the scenario engine's (partition × availability × method) matrix
+    Sweep the scenario engine's (partition × availability × transport ×
+    method) matrix
     (:func:`repro.experiments.scenarios.run_scenario_matrix`) and print one
     comparison table — see ``docs/scenarios.md``.
 
@@ -29,6 +30,8 @@ Examples::
     python -m repro run --partition dirichlet --dirichlet-alpha 0.1 --dropout 0.3
     python -m repro run --partition quantity_skew --accountant heterogeneous --epsilon-budget 1.0
     python -m repro run --dataset cancer --attack leakage --attack-rounds every_2
+    python -m repro run --dataset cancer --attack membership --secure-aggregation
+    python -m repro run --dataset cancer --byzantine-clients 0 --byzantine-mode sign_flip
     python -m repro run --clients 1000000 --participation 0.00001 \
         --client-sampling poisson --history-spool rounds.jsonl
     python -m repro tables 1 6
@@ -53,6 +56,7 @@ from repro.experiments.harness import SCALE_PROFILES, make_config
 from repro.federated.config import (
     ACCOUNTANT_NAMES,
     ATTACK_KINDS,
+    BYZANTINE_MODES,
     CLIENT_SAMPLING_SCHEMES,
     CLIENT_STATE_MODES,
     EXECUTORS,
@@ -196,6 +200,11 @@ def _config_from_args(args: argparse.Namespace) -> tuple:
         "attack_clients": sorted(set(args.attack_clients)) if args.attack_clients else None,
         "attack_seeds": args.attack_seeds,
         "attack_iterations": args.attack_iterations,
+        "byzantine_clients": sorted(set(args.byzantine_clients)) if args.byzantine_clients else None,
+        "byzantine_mode": args.byzantine_mode,
+        "byzantine_scale": args.byzantine_scale,
+        "secure_aggregation": args.secure_aggregation,
+        "secure_mask_scale": args.secure_mask_scale,
     }
     overrides.update({key: value for key, value in flag_overrides.items() if value is not None})
     explicit = dict(overrides)
@@ -341,7 +350,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"epsilon={history.final_epsilon:.4f} "
         f"mean cost={history.mean_time_per_iteration_ms:.2f} ms/iteration"
     )
-    if config.attack is not None:
+    if config.attack == "membership":
+        records = history.mia_records
+        print(
+            f"[repro] in-loop membership audit: {len(records)} audits over "
+            f"rounds {history.attacked_rounds}, mean AUC={history.mean_mia_auc:.4f} "
+            f"(0.5 = indistinguishable)"
+        )
+    elif config.attack is not None:
         records = history.attack_records
         print(
             f"[repro] in-loop {config.attack} attack: {len(records)} attacks over "
@@ -429,6 +445,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             methods=tuple(args.methods),
             partitions=args.partitions or None,
             availabilities=args.availabilities or None,
+            transports=args.transports or None,
             dataset=args.dataset,
             profile=args.table_profile,
             seed=args.seed,
@@ -541,6 +558,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--attack-iterations", type=int, help="attack optimiser iteration cap per attack"
     )
+    run.add_argument(
+        "--byzantine-clients",
+        nargs="+",
+        type=int,
+        metavar="CLIENT",
+        help="client ids that misbehave every round (requires --byzantine-mode)",
+    )
+    run.add_argument(
+        "--byzantine-mode",
+        choices=BYZANTINE_MODES,
+        help="byzantine behaviour: 'scale' / 'sign_flip' corrupt the upload, "
+        "'label_flip' poisons the client's shard (see docs/in_loop_attacks.md)",
+    )
+    run.add_argument(
+        "--byzantine-scale",
+        type=float,
+        help="multiplier for --byzantine-mode scale (default 10)",
+    )
+    run.add_argument(
+        "--secure-aggregation",
+        action="store_const",
+        const=True,
+        default=None,
+        help="mask uploads with pairwise secure aggregation (fedsgd only; the "
+        "masks cancel in the aggregate)",
+    )
+    run.add_argument(
+        "--secure-mask-scale",
+        type=float,
+        help="stddev of the pairwise secure-aggregation masks (default 10)",
+    )
     run.add_argument("--seed", type=int, help="global RNG seed")
     run.add_argument("--executor", choices=EXECUTORS, help="client-execution backend (default: serial)")
     run.add_argument("--workers", type=int, help="worker-pool size for --executor multiprocessing")
@@ -577,7 +625,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(handler=_cmd_run)
 
     scenarios = subparsers.add_parser(
-        "scenarios", help="sweep the (partition x availability x method) scenario matrix"
+        "scenarios",
+        help="sweep the (partition x availability x transport x method) scenario matrix",
     )
     scenarios.add_argument(
         "--methods", nargs="+", default=["nonprivate", "fed_cdp"], choices=METHODS,
@@ -590,6 +639,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument(
         "--availabilities", nargs="*", default=None,
         help="availability scenario names (default: all)",
+    )
+    scenarios.add_argument(
+        "--transports", nargs="*", default=None,
+        help="transport scenario names (default: plain only; see "
+        "repro.experiments.scenarios.TRANSPORT_SCENARIOS)",
     )
     scenarios.add_argument(
         "--attack",

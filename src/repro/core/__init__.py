@@ -9,6 +9,7 @@ from .fed_sdp import FedSDPTrainer
 from .membership_inference import (
     MembershipInferenceResult,
     loss_threshold_attack,
+    membership_auc,
     per_example_losses,
 )
 from .nonprivate import NonPrivateTrainer
@@ -37,5 +38,6 @@ __all__ = [
     "mean_gradient_norm",
     "MembershipInferenceResult",
     "loss_threshold_attack",
+    "membership_auc",
     "per_example_losses",
 ]

@@ -24,7 +24,12 @@ import numpy as np
 from repro.autodiff import Tensor, no_grad
 from repro.nn import Sequential
 
-__all__ = ["MembershipInferenceResult", "per_example_losses", "loss_threshold_attack"]
+__all__ = [
+    "MembershipInferenceResult",
+    "per_example_losses",
+    "membership_auc",
+    "loss_threshold_attack",
+]
 
 
 @dataclass
@@ -40,6 +45,28 @@ class MembershipInferenceResult:
     #: mean loss of members and non-members (the gap the attack exploits)
     mean_member_loss: float
     mean_nonmember_loss: float
+    #: threshold-free attack AUC (probability a random member scores a lower
+    #: loss than a random non-member; 0.5 = no leakage)
+    auc: float
+
+
+def membership_auc(member_losses: np.ndarray, nonmember_losses: np.ndarray) -> float:
+    """Threshold-free membership AUC from per-example loss scores.
+
+    The probability that a uniformly random member has *strictly lower* loss
+    than a uniformly random non-member, counting ties as half — i.e. the
+    exact Mann–Whitney AUC of the "low loss means member" classifier.  0.5 is
+    chance; the distance from 0.5 is the model-level leakage the DP methods
+    are supposed to shrink.  Purely arithmetic and deterministic: no sampling,
+    no RNG.
+    """
+    members = np.asarray(member_losses, dtype=np.float64).reshape(-1)
+    nonmembers = np.asarray(nonmember_losses, dtype=np.float64).reshape(-1)
+    if members.size == 0 or nonmembers.size == 0:
+        raise ValueError("both member and non-member loss sets must be non-empty")
+    wins = np.sum(members[:, None] < nonmembers[None, :], dtype=np.float64)
+    ties = np.sum(members[:, None] == nonmembers[None, :], dtype=np.float64)
+    return float((wins + 0.5 * ties) / (members.size * nonmembers.size))
 
 
 def per_example_losses(model: Sequential, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
@@ -100,4 +127,5 @@ def loss_threshold_attack(
         threshold=float(threshold),
         mean_member_loss=float(np.mean(member_losses)),
         mean_nonmember_loss=float(np.mean(nonmember_losses)),
+        auc=membership_auc(member_losses, nonmember_losses),
     )

@@ -27,6 +27,7 @@ from .harness import format_table, make_config
 __all__ = [
     "PARTITION_SCENARIOS",
     "AVAILABILITY_SCENARIOS",
+    "TRANSPORT_SCENARIOS",
     "ATTACK_SCENARIO_DEFAULTS",
     "ScenarioCell",
     "ScenarioMatrixResult",
@@ -54,6 +55,22 @@ AVAILABILITY_SCENARIOS: Dict[str, dict] = {
 }
 
 
+#: Named transport scenarios: what happens to an update between the client
+#: and the aggregator.  ``pruned(0.5)`` drops the smallest half of every
+#: upload's coordinates; ``secure-agg`` adds the pairwise masks of
+#: :class:`~repro.federated.secure_aggregation.RoundSecureAggregator` (the
+#: masks cancel in the mean, but a server-side adversary only ever observes
+#: masked uploads).  Combined with ``attack=...`` this axis answers the
+#: resilience questions the paper raises but does not measure: does
+#: sparsification leak less, and what does secure aggregation buy against a
+#: type-0 adversary?
+TRANSPORT_SCENARIOS: Dict[str, dict] = {
+    "plain": {},
+    "pruned(0.5)": {"compression_ratio": 0.5},
+    "secure-agg": {"secure_aggregation": True},
+}
+
+
 #: In-loop adversary overrides applied to every cell when ``attack`` is set:
 #: strike every second round with a short optimisation so the sweep stays
 #: interactive; callers may override any of these via ``config_overrides``.
@@ -69,7 +86,7 @@ ATTACK_SCENARIO_DEFAULTS: Dict[str, object] = {
 
 @dataclass
 class ScenarioCell:
-    """Outcome of one (partition, availability, method) simulation.
+    """Outcome of one (partition, availability, transport, method) simulation.
 
     Private cells run under the ``heterogeneous`` accountant so the matrix
     reports the honest worst-case instance-level epsilon (``final_epsilon``)
@@ -80,7 +97,8 @@ class ScenarioCell:
     With ``attack="leakage"`` every cell additionally runs the in-loop
     gradient-leakage adversary and reports its reconstruction MSE — the
     attack-resilience comparison across defenses under each scenario (high
-    MSE = resilient; see docs/in_loop_attacks.md).
+    MSE = resilient; see docs/in_loop_attacks.md).  ``attack="membership"``
+    fills ``mia_auc`` instead (0.5 = the audit cannot tell members apart).
     """
 
     partition: str
@@ -97,10 +115,15 @@ class ScenarioCell:
     total_dropped: int
     total_stragglers: int
     skipped_rounds: int
+    #: transport scenario between client and aggregator (see
+    #: :data:`TRANSPORT_SCENARIOS`)
+    transport: str = "plain"
     #: mean in-loop reconstruction MSE over the cell's attacks (NaN = no attack)
     attack_mse: float = float("nan")
     #: fraction of the cell's in-loop attacks that succeeded (NaN = no attack)
     attack_success: float = float("nan")
+    #: mean per-round membership-inference AUC (NaN = no membership audit)
+    mia_auc: float = float("nan")
 
 
 @dataclass
@@ -108,7 +131,8 @@ class ScenarioMatrixResult:
     """All cells of one scenario sweep plus the rendered comparison table."""
 
     cells: List[ScenarioCell] = field(default_factory=list)
-    histories: Dict[Tuple[str, str, str], SimulationHistory] = field(default_factory=dict)
+    #: per-cell histories keyed (partition, availability, transport, method)
+    histories: Dict[Tuple[str, str, str, str], SimulationHistory] = field(default_factory=dict)
 
     def formatted(self) -> str:
         def optional(value: float) -> str:
@@ -119,6 +143,7 @@ class ScenarioMatrixResult:
             [
                 cell.partition,
                 cell.availability,
+                cell.transport,
                 cell.method,
                 cell.final_accuracy,
                 cell.final_epsilon,
@@ -129,6 +154,7 @@ class ScenarioMatrixResult:
                 cell.skipped_rounds,
                 optional(cell.attack_mse),
                 optional(cell.attack_success),
+                optional(cell.mia_auc),
             ]
             for cell in self.cells
         ]
@@ -137,6 +163,7 @@ class ScenarioMatrixResult:
             headers=[
                 "partition",
                 "availability",
+                "transport",
                 "method",
                 "accuracy",
                 "eps(worst-case)",
@@ -147,8 +174,9 @@ class ScenarioMatrixResult:
                 "skipped",
                 "attack-mse",
                 "attack-success",
+                "mia-auc",
             ],
-            title="Scenario matrix (partition x availability x method)",
+            title="Scenario matrix (partition x availability x transport x method)",
         )
 
 
@@ -156,6 +184,7 @@ def run_scenario_matrix(
     methods: Sequence[str] = ("nonprivate", "fed_cdp"),
     partitions: Optional[Sequence[str]] = None,
     availabilities: Optional[Sequence[str]] = None,
+    transports: Optional[Sequence[str]] = None,
     dataset: str = "mnist",
     profile: str = "quick",
     seed: int = 0,
@@ -163,13 +192,15 @@ def run_scenario_matrix(
     attack: Optional[str] = None,
     **config_overrides,
 ) -> ScenarioMatrixResult:
-    """Run the (partition × availability × method) sweep and collect one table.
+    """Run the (partition × availability × transport × method) sweep.
 
-    ``partitions`` / ``availabilities`` name entries of
-    :data:`PARTITION_SCENARIOS` / :data:`AVAILABILITY_SCENARIOS` (``None``
-    sweeps all of them); extra keyword arguments are forwarded to every
-    cell's config, letting callers shrink the runs (``rounds=2``) or change
-    the dataset scale.  ``attack="leakage"`` runs the in-loop adversary in
+    ``partitions`` / ``availabilities`` / ``transports`` name entries of
+    :data:`PARTITION_SCENARIOS` / :data:`AVAILABILITY_SCENARIOS` /
+    :data:`TRANSPORT_SCENARIOS` (``None`` sweeps all partitions and
+    availabilities but only the ``plain`` transport, keeping the default
+    matrix the size it always was); extra keyword arguments are forwarded to
+    every cell's config, letting callers shrink the runs (``rounds=2``) or
+    change the dataset scale.  ``attack=...`` runs the in-loop adversary in
     every cell (under :data:`ATTACK_SCENARIO_DEFAULTS` unless overridden) and
     fills the matrix's attack-resilience columns.
     """
@@ -177,63 +208,74 @@ def run_scenario_matrix(
     availabilities = (
         list(availabilities) if availabilities is not None else list(AVAILABILITY_SCENARIOS)
     )
+    transports = list(transports) if transports is not None else ["plain"]
     unknown = [name for name in partitions if name not in PARTITION_SCENARIOS]
     unknown += [name for name in availabilities if name not in AVAILABILITY_SCENARIOS]
+    unknown += [name for name in transports if name not in TRANSPORT_SCENARIOS]
     if unknown:
         raise ValueError(
             f"unknown scenario names {unknown}; available partitions: "
-            f"{sorted(PARTITION_SCENARIOS)}, availabilities: {sorted(AVAILABILITY_SCENARIOS)}"
+            f"{sorted(PARTITION_SCENARIOS)}, availabilities: {sorted(AVAILABILITY_SCENARIOS)}, "
+            f"transports: {sorted(TRANSPORT_SCENARIOS)}"
         )
 
     result = ScenarioMatrixResult()
     for partition_name in partitions:
         for availability_name in availabilities:
-            for method in methods:
-                overrides = dict(config_overrides)
-                overrides.update(PARTITION_SCENARIOS[partition_name])
-                overrides.update(AVAILABILITY_SCENARIOS[availability_name])
-                if attack is not None:
-                    overrides["attack"] = attack
-                    for attack_field, default in ATTACK_SCENARIO_DEFAULTS.items():
-                        overrides.setdefault(attack_field, default)
-                # private cells default to the heterogeneity-aware accountant
-                # so worst-case and equal-shard epsilon appear side by side
-                # (the accountant reads the trajectory; it never changes it)
-                if method in PRIVATE_METHODS:
-                    overrides.setdefault("accountant", "heterogeneous")
-                config = make_config(dataset, method, profile=profile, seed=seed, **overrides)
-                with FederatedSimulation(config) as simulation:
-                    history = simulation.run()
-                    if config.accountant == "heterogeneous":
-                        equal_shard = simulation.accountant.equal_shard_epsilon(config.delta)
-                    else:
-                        equal_shard = history.final_epsilon
-                participation = history.participation_series
-                cell = ScenarioCell(
-                    partition=partition_name,
-                    availability=availability_name,
-                    method=method,
-                    config=config,
-                    final_accuracy=history.final_accuracy,
-                    final_epsilon=history.final_epsilon,
-                    equal_shard_epsilon=equal_shard,
-                    mean_participants=(
-                        sum(participation) / len(participation) if participation else 0.0
-                    ),
-                    total_dropped=history.total_dropped,
-                    total_stragglers=history.total_stragglers,
-                    skipped_rounds=history.skipped_rounds,
-                    attack_mse=history.mean_attack_mse,
-                    attack_success=history.attack_success_rate,
-                )
-                result.cells.append(cell)
-                result.histories[(partition_name, availability_name, method)] = history
-                if verbose:  # pragma: no cover - console convenience
-                    print(
-                        f"[scenarios] {partition_name} / {availability_name} / {method}: "
-                        f"accuracy={cell.final_accuracy:.4f} "
-                        f"epsilon={cell.final_epsilon:.2f} "
-                        f"(equal-shard {cell.equal_shard_epsilon:.2f}) "
-                        f"participants/round={cell.mean_participants:.1f}"
+            for transport_name in transports:
+                for method in methods:
+                    overrides = dict(config_overrides)
+                    overrides.update(PARTITION_SCENARIOS[partition_name])
+                    overrides.update(AVAILABILITY_SCENARIOS[availability_name])
+                    overrides.update(TRANSPORT_SCENARIOS[transport_name])
+                    if attack is not None:
+                        overrides["attack"] = attack
+                        for attack_field, default in ATTACK_SCENARIO_DEFAULTS.items():
+                            overrides.setdefault(attack_field, default)
+                    # private cells default to the heterogeneity-aware
+                    # accountant so worst-case and equal-shard epsilon appear
+                    # side by side (the accountant reads the trajectory; it
+                    # never changes it)
+                    if method in PRIVATE_METHODS:
+                        overrides.setdefault("accountant", "heterogeneous")
+                    config = make_config(dataset, method, profile=profile, seed=seed, **overrides)
+                    with FederatedSimulation(config) as simulation:
+                        history = simulation.run()
+                        if config.accountant == "heterogeneous":
+                            equal_shard = simulation.accountant.equal_shard_epsilon(config.delta)
+                        else:
+                            equal_shard = history.final_epsilon
+                    participation = history.participation_series
+                    cell = ScenarioCell(
+                        partition=partition_name,
+                        availability=availability_name,
+                        transport=transport_name,
+                        method=method,
+                        config=config,
+                        final_accuracy=history.final_accuracy,
+                        final_epsilon=history.final_epsilon,
+                        equal_shard_epsilon=equal_shard,
+                        mean_participants=(
+                            sum(participation) / len(participation) if participation else 0.0
+                        ),
+                        total_dropped=history.total_dropped,
+                        total_stragglers=history.total_stragglers,
+                        skipped_rounds=history.skipped_rounds,
+                        attack_mse=history.mean_attack_mse,
+                        attack_success=history.attack_success_rate,
+                        mia_auc=history.mean_mia_auc,
                     )
+                    result.cells.append(cell)
+                    result.histories[
+                        (partition_name, availability_name, transport_name, method)
+                    ] = history
+                    if verbose:  # pragma: no cover - console convenience
+                        print(
+                            f"[scenarios] {partition_name} / {availability_name} / "
+                            f"{transport_name} / {method}: "
+                            f"accuracy={cell.final_accuracy:.4f} "
+                            f"epsilon={cell.final_epsilon:.2f} "
+                            f"(equal-shard {cell.equal_shard_epsilon:.2f}) "
+                            f"participants/round={cell.mean_participants:.1f}"
+                        )
     return result

@@ -2,6 +2,7 @@
 
 from .aggregation import average_weight_lists, fedavg_aggregate, fedsgd_aggregate
 from .availability import AvailabilityDraw, AvailabilityModel
+from .byzantine import BYZANTINE_MODES, ByzantineBehaviour
 from .client import FederatedClient
 from .compression import compression_savings, prune_update
 from .config import CLIENT_SAMPLING_SCHEMES, EXECUTORS, METHODS, FederatedConfig
@@ -14,8 +15,12 @@ from .executor import (
     spawn_client_seeds,
 )
 from .sampling import sample_clients_fixed, sample_clients_poisson
-from .secure_aggregation import PairwiseMaskingProtocol
-from .server import AttackRecord, FederatedServer, RoundResult
+from .secure_aggregation import (
+    SECURE_AGGREGATION_DOMAIN,
+    PairwiseMaskingProtocol,
+    RoundSecureAggregator,
+)
+from .server import AttackRecord, FederatedServer, MIARecord, RoundResult
 from .simulation import FederatedSimulation, SimulationHistory
 
 __all__ = [
@@ -35,6 +40,9 @@ __all__ = [
     "FederatedServer",
     "RoundResult",
     "AttackRecord",
+    "MIARecord",
+    "ByzantineBehaviour",
+    "BYZANTINE_MODES",
     "FederatedSimulation",
     "SimulationHistory",
     "fedsgd_aggregate",
@@ -45,4 +53,6 @@ __all__ = [
     "prune_update",
     "compression_savings",
     "PairwiseMaskingProtocol",
+    "RoundSecureAggregator",
+    "SECURE_AGGREGATION_DOMAIN",
 ]

@@ -1,0 +1,122 @@
+"""Byzantine client behaviours for the in-loop threat catalogue.
+
+The paper's robustness story (and the ROADMAP's "adaptive and diverse
+adversaries" item) needs malicious *participants*, not just curious
+observers: clients that scale their update (model replacement style),
+flip its sign (gradient ascent on the global objective), or train on
+label-flipped data (targeted poisoning).  This module implements those three
+behaviours as pure, RNG-free transforms selected by the
+:class:`~repro.federated.config.FederatedConfig` fields
+``byzantine_clients`` / ``byzantine_mode`` / ``byzantine_scale``.
+
+Two deliberate design properties, both regression-tested in
+``tests/attacks/test_byzantine_properties.py``:
+
+* **Purity** — no transform consumes randomness or module state, so byzantine
+  behaviour commutes with the RNG-domain seeding discipline: honest clients'
+  training streams (and therefore their updates) are bit-identical between a
+  byzantine run and an honest run of the same seed.
+* **Locality** — ``scale`` and ``sign_flip`` act on the *uploaded update*
+  (the malicious client tampers with its share after local training);
+  ``label_flip`` acts on the *private shard* (the client honestly runs the
+  training protocol over poisoned data, so Fed-CDP's per-example clipping
+  still applies to it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "BYZANTINE_MODES",
+    "ByzantineBehaviour",
+    "scale_update",
+    "sign_flip_update",
+    "flip_labels",
+]
+
+
+#: Byzantine client behaviours understood by :class:`ByzantineBehaviour`.
+#: ``scale`` multiplies the uploaded update by ``byzantine_scale``;
+#: ``sign_flip`` negates it; ``label_flip`` trains honestly on a shard whose
+#: labels are remapped ``y -> num_classes - 1 - y``.
+BYZANTINE_MODES: Tuple[str, ...] = ("scale", "sign_flip", "label_flip")
+
+
+def scale_update(update: Sequence[np.ndarray], factor: float) -> List[np.ndarray]:
+    """The update a scale-attacking client uploads (``factor`` times the truth)."""
+    return [np.asarray(layer, dtype=np.float64) * float(factor) for layer in update]
+
+
+def sign_flip_update(update: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """The update a sign-flipping client uploads (exact negation, an involution)."""
+    return [-np.asarray(layer, dtype=np.float64) for layer in update]
+
+
+def flip_labels(dataset: Dataset) -> Dataset:
+    """The poisoned shard of a label-flipping client (``y -> C - 1 - y``).
+
+    The complement map is its own inverse and preserves the label range, so a
+    flipped shard is a valid shard of the same dataset spec.
+    """
+    labels = np.asarray(dataset.labels, dtype=np.int64)
+    return Dataset(dataset.features, dataset.num_classes - 1 - labels, dataset.num_classes)
+
+
+class ByzantineBehaviour:
+    """The configured byzantine cohort and its update / shard transforms.
+
+    Honest clients pass through both transforms untouched; the designated
+    clients are tampered with according to ``mode``.  The object is stateless
+    and consumes no randomness, so it is safe to rebuild independently in
+    multiprocessing workers (they construct one from the config, exactly like
+    the trainer and the population).
+    """
+
+    def __init__(self, clients: Sequence[int], mode: str, scale: float = 10.0) -> None:
+        if mode not in BYZANTINE_MODES:
+            raise ValueError(
+                f"unknown byzantine_mode {mode!r}; expected one of {BYZANTINE_MODES}"
+            )
+        if not clients:
+            raise ValueError("byzantine behaviour needs at least one client id")
+        if scale <= 0:
+            raise ValueError("byzantine_scale must be positive")
+        self.clients = frozenset(int(c) for c in clients)
+        self.mode = mode
+        self.scale = float(scale)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config) -> Optional["ByzantineBehaviour"]:
+        """The behaviour declared by ``config``, or ``None`` when all-honest."""
+        if config.byzantine_mode is None:
+            return None
+        return cls(config.byzantine_clients, config.byzantine_mode, config.byzantine_scale)
+
+    def affects(self, client_id: int) -> bool:
+        """Whether ``client_id`` is part of the byzantine cohort."""
+        return int(client_id) in self.clients
+
+    # ------------------------------------------------------------------
+    def transform_update(
+        self, client_id: int, update: Sequence[np.ndarray]
+    ) -> Sequence[np.ndarray]:
+        """The update the server receives from ``client_id``."""
+        if not self.affects(client_id):
+            return update
+        if self.mode == "scale":
+            return scale_update(update, self.scale)
+        if self.mode == "sign_flip":
+            return sign_flip_update(update)
+        return update  # label_flip tampers with the shard, not the upload
+
+    def transform_shard(self, client_id: int, dataset: Dataset) -> Dataset:
+        """The shard ``client_id`` actually trains on."""
+        if self.mode == "label_flip" and self.affects(client_id):
+            return flip_labels(dataset)
+        return dataset

@@ -79,11 +79,17 @@ class LazyClientRoster(Sequence):
     cohort.  Every access builds a fresh, identical object from the same
     deterministic derivation, so holding no cache costs only the cohort-sized
     per-round construction and keeps memory flat over any horizon.
+
+    ``shard_transform`` — called as ``transform(client_id, shard)`` on every
+    derived shard — lets byzantine data poisoning (label flipping) apply at
+    construction time, exactly where the eager client list applies it, so
+    lazy and eager byzantine runs stay bit-identical.
     """
 
-    def __init__(self, population, trainer) -> None:
+    def __init__(self, population, trainer, shard_transform=None) -> None:
         self.population = population
         self.trainer = trainer
+        self.shard_transform = shard_transform
 
     def __len__(self) -> int:
         return len(self.population)
@@ -94,7 +100,10 @@ class LazyClientRoster(Sequence):
         index = int(index)
         if index < 0:
             index += len(self)
-        return FederatedClient(index, self.population[index], self.trainer)
+        shard = self.population[index]
+        if self.shard_transform is not None:
+            shard = self.shard_transform(index, shard)
+        return FederatedClient(index, shard, self.trainer)
 
     def materialize(self) -> List[FederatedClient]:
         """All clients as an eager list (paper-scale convenience)."""

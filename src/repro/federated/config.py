@@ -18,6 +18,8 @@ from repro.data.partition import PARTITION_STRATEGIES
 from repro.data.registry import DatasetSpec, get_dataset_spec
 from repro.privacy.ledger import ACCOUNTANT_NAMES
 
+from .byzantine import BYZANTINE_MODES
+
 __all__ = [
     "FederatedConfig",
     "METHODS",
@@ -28,6 +30,7 @@ __all__ = [
     "LAZY_CLIENT_STATE_THRESHOLD",
     "ACCOUNTANT_NAMES",
     "ATTACK_KINDS",
+    "BYZANTINE_MODES",
     "normalize_attack_rounds",
 ]
 
@@ -60,8 +63,12 @@ CLIENT_STATE_MODES: Tuple[str, ...] = ("auto", "eager", "lazy")
 #: Population size at which ``client_state="auto"`` switches to ``lazy``.
 LAZY_CLIENT_STATE_THRESHOLD = 10_000
 
-#: In-loop adversary kinds understood by :class:`repro.attacks.schedule.AttackSchedule`.
-ATTACK_KINDS: Tuple[str, ...] = ("leakage",)
+#: In-loop adversary kinds understood by :class:`repro.attacks.schedule.AttackSchedule`:
+#: ``leakage`` runs the fixed-budget gradient-reconstruction attack,
+#: ``adaptive`` the variant that tunes its restart/iteration budget from the
+#: observed gradient norm, and ``membership`` the loss-threshold membership
+#: inference audit of each round's released model (per-round AUC records).
+ATTACK_KINDS: Tuple[str, ...] = ("leakage", "membership", "adaptive")
 
 #: accepted string form of ``attack_rounds``: ``"every_k"`` attacks rounds
 #: ``0, k, 2k, ...``
@@ -187,6 +194,17 @@ class FederatedConfig:
     #: harness default of 300 is too slow to run inside every round)
     attack_iterations: int = 30
 
+    # ----- byzantine clients (see docs/in_loop_attacks.md) ----------------
+    #: client ids behaving byzantinely (``None`` = every client is honest);
+    #: must be set together with ``byzantine_mode``
+    byzantine_clients: Optional[Tuple[int, ...]] = None
+    #: byzantine behaviour, one of :data:`BYZANTINE_MODES` (``scale``
+    #: multiplies the uploaded update, ``sign_flip`` negates it,
+    #: ``label_flip`` trains on complement-remapped labels)
+    byzantine_mode: Optional[str] = None
+    #: multiplicative factor applied by ``byzantine_mode="scale"``
+    byzantine_scale: float = 10.0
+
     # ----- baselines / extensions --------------------------------------
     #: fraction of parameters shared by the DSSGD baseline
     dssgd_share_fraction: float = 0.1
@@ -195,6 +213,14 @@ class FederatedConfig:
     compression_ratio: float = 0.0
     #: aggregation rule: ``fedsgd`` or ``fedavg``
     aggregation: str = "fedsgd"
+    #: pairwise-masking secure aggregation (Bonawitz et al.): each
+    #: participant uploads its update plus pairwise-cancelling masks, so the
+    #: server (and the in-loop adversary) only ever observes masked updates;
+    #: requires ``aggregation="fedsgd"``
+    secure_aggregation: bool = False
+    #: standard deviation of the pairwise masks (large = stronger hiding of
+    #: the individual update; the aggregate is unaffected either way)
+    secure_mask_scale: float = 10.0
 
     # ----- execution -----------------------------------------------------
     #: client-execution backend: ``serial``, ``multiprocessing`` or ``fused``
@@ -298,6 +324,34 @@ class FederatedConfig:
             raise ValueError("attack_seeds must be at least 1")
         if self.attack_iterations < 1:
             raise ValueError("attack_iterations must be at least 1")
+        if (self.byzantine_mode is None) != (self.byzantine_clients is None):
+            raise ValueError(
+                "byzantine_mode and byzantine_clients must be set together "
+                "(or both left None)"
+            )
+        if self.byzantine_mode is not None and self.byzantine_mode not in BYZANTINE_MODES:
+            raise ValueError(
+                f"unknown byzantine_mode {self.byzantine_mode!r}; "
+                f"expected one of {BYZANTINE_MODES}"
+            )
+        if self.byzantine_clients is not None:
+            byzantine = tuple(sorted({int(c) for c in self.byzantine_clients}))
+            if not byzantine:
+                raise ValueError("byzantine_clients must name at least one client (or be None)")
+            if byzantine[0] < 0 or byzantine[-1] >= self.num_clients:
+                raise ValueError(
+                    f"byzantine_clients must lie in [0, {self.num_clients}), got {byzantine}"
+                )
+            self.byzantine_clients = byzantine
+        if self.byzantine_scale <= 0:
+            raise ValueError("byzantine_scale must be positive")
+        if self.secure_mask_scale <= 0:
+            raise ValueError("secure_mask_scale must be positive")
+        if self.secure_aggregation and self.aggregation != "fedsgd":
+            raise ValueError(
+                "secure_aggregation masks shared *updates* and therefore requires "
+                "aggregation='fedsgd'"
+            )
         if self.executor not in EXECUTORS:
             raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
         if self.num_workers is not None and self.num_workers < 1:
@@ -405,6 +459,18 @@ class FederatedConfig:
         ):
             if payload[attack_field] == default:
                 del payload[attack_field]
+        # threat-catalogue fields (byzantine clients, secure aggregation)
+        # follow the same convention: absent at defaults, so every honest run
+        # keeps its pre-catalogue byte-exact payload
+        for threat_field, default in (
+            ("byzantine_clients", None),
+            ("byzantine_mode", None),
+            ("byzantine_scale", 10.0),
+            ("secure_aggregation", False),
+            ("secure_mask_scale", 10.0),
+        ):
+            if payload[threat_field] == default:
+                del payload[threat_field]
         return payload
 
     @classmethod
@@ -416,7 +482,7 @@ class FederatedConfig:
             raise ValueError(f"unknown FederatedConfig fields: {sorted(unknown)}")
         if "decay_clipping" in data and data["decay_clipping"] is not None:
             data["decay_clipping"] = tuple(data["decay_clipping"])
-        for tuple_field in ("attack_rounds", "attack_clients"):
+        for tuple_field in ("attack_rounds", "attack_clients", "byzantine_clients"):
             value = data.get(tuple_field)
             if value is not None and not isinstance(value, str):
                 data[tuple_field] = tuple(value)

@@ -206,6 +206,8 @@ def _worker_initializer(config: FederatedConfig, data_payload: Optional[tuple]) 
     from repro.data.synthetic import generate_train_val
     from repro.nn import build_model_for_dataset
 
+    from .byzantine import ByzantineBehaviour
+
     model = build_model_for_dataset(config.spec, seed=config.seed, scale=config.model_scale)
     trainer = make_trainer(config.method, model, config)
     if data_payload is None:
@@ -228,6 +230,10 @@ def _worker_initializer(config: FederatedConfig, data_payload: Optional[tuple]) 
     _WORKER_STATE["trainer"] = trainer
     _WORKER_STATE["population"] = population
     _WORKER_STATE["shard_cache"] = {}
+    # byzantine data poisoning (label_flip) transforms the shard a client
+    # trains on; workers rebuild the behaviour from the config like
+    # everything else, so worker-side shards match the parent's exactly
+    _WORKER_STATE["byzantine"] = ByzantineBehaviour.from_config(config)
 
 
 def _worker_run_chunk(task: tuple) -> List:
@@ -236,11 +242,14 @@ def _worker_run_chunk(task: tuple) -> List:
     trainer = _WORKER_STATE["trainer"]
     population = _WORKER_STATE["population"]
     cache = _WORKER_STATE["shard_cache"]
+    byzantine = _WORKER_STATE["byzantine"]
     results = []
     for client_index, seed_sequence in jobs:
         dataset = cache.get(client_index)
         if dataset is None:
             dataset = population[client_index]
+            if byzantine is not None:
+                dataset = byzantine.transform_shard(client_index, dataset)
             if len(cache) < _WORKER_SHARD_CACHE_LIMIT:
                 cache[client_index] = dataset
         rng = np.random.default_rng(seed_sequence)

@@ -33,7 +33,7 @@ from typing import Iterator, List, Sequence
 
 import numpy as np
 
-from .server import AttackRecord, RoundResult
+from .server import AttackRecord, MIARecord, RoundResult
 
 __all__ = ["RoundSpool", "round_result_to_payload", "round_result_from_payload"]
 
@@ -43,9 +43,9 @@ def round_result_to_payload(result: RoundResult) -> dict:
 
     ``NaN`` metrics (the loss of a skipped round) are encoded as ``null`` so
     the payload stays valid RFC-8259 JSON for strict consumers; the
-    ``attacks`` key is omitted when no attack ran (mirroring the config
-    convention), keeping unattacked payloads byte-identical to their
-    pre-attack-era form.
+    ``attacks`` and ``mia`` keys are omitted when the respective adversary
+    did not run (mirroring the config convention), keeping unattacked
+    payloads byte-identical to their pre-attack-era form.
     """
     payload = asdict(result)
     mean_loss = payload["mean_loss"]
@@ -59,6 +59,8 @@ def round_result_to_payload(result: RoundResult) -> dict:
                 attack["psnr"] = None
     else:
         del payload["attacks"]
+    if not payload["mia"]:
+        del payload["mia"]
     return payload
 
 
@@ -77,6 +79,7 @@ def round_result_from_payload(entry: dict) -> RoundResult:
             attack["psnr"] = float("inf")
         attacks.append(AttackRecord(**attack))
     entry["attacks"] = attacks
+    entry["mia"] = [MIARecord(**record) for record in entry.get("mia", [])]
     return RoundResult(**entry)
 
 

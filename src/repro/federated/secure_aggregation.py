@@ -28,7 +28,22 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["PairwiseMaskingProtocol"]
+from repro.rng import domain_seed_sequence
+
+__all__ = [
+    "PairwiseMaskingProtocol",
+    "RoundSecureAggregator",
+    "SECURE_AGGREGATION_DOMAIN",
+]
+
+
+#: Domain-separation tag for the per-round pairwise mask streams (sibling of
+#: the client-training, availability, attack and shard domains — see
+#: :mod:`repro.federated.executor`).  Masks are keyed on ``(config seed,
+#: domain, round, low id, high id)``, so they are independent of the
+#: execution backend, of cohort ordering, and of how many rounds ran before
+#: (exact checkpoint resume).
+SECURE_AGGREGATION_DOMAIN = 0x5EC4A66
 
 
 class PairwiseMaskingProtocol:
@@ -90,3 +105,71 @@ class PairwiseMaskingProtocol:
             raise ValueError(f"expected {self.num_clients} updates, got {len(updates)}")
         masked = {client_id: self.mask_update(client_id, update) for client_id, update in enumerate(updates)}
         return self.aggregate(masked), masked
+
+
+class RoundSecureAggregator:
+    """Pairwise masking for one federated round's *participating* cohort.
+
+    Where :class:`PairwiseMaskingProtocol` is the standalone textbook
+    simulation (dense population, Python-``hash`` pair seeds), this is the
+    variant the :class:`~repro.federated.server.FederatedServer` wires in
+    when ``config.secure_aggregation`` is on: masks pair up the clients that
+    actually participate this round (so every mask introduced is also
+    cancelled, dropout or not), and each pair's mask stream comes from
+    :func:`repro.rng.domain_seed_sequence` under
+    :data:`SECURE_AGGREGATION_DOMAIN` — deterministic across processes,
+    backends and resume, unlike ``hash()``-derived seeds under
+    ``PYTHONHASHSEED`` randomisation for non-int keys.
+
+    A single-participant round degenerates gracefully: with no pairs there
+    are no masks, and the upload is the bare update (nobody to hide among).
+    """
+
+    def __init__(
+        self,
+        participants: Sequence[int],
+        seed: int,
+        round_index: int,
+        mask_scale: float = 10.0,
+    ) -> None:
+        if mask_scale <= 0:
+            raise ValueError("mask_scale must be positive")
+        self.participants = [int(c) for c in participants]
+        if len(set(self.participants)) != len(self.participants):
+            raise ValueError("participants must be distinct client ids")
+        self.seed = int(seed)
+        self.round_index = int(round_index)
+        self.mask_scale = float(mask_scale)
+
+    # ------------------------------------------------------------------
+    def _pair_mask(
+        self, first: int, second: int, shapes: Sequence[Tuple[int, ...]]
+    ) -> List[np.ndarray]:
+        low, high = sorted((int(first), int(second)))
+        rng = np.random.default_rng(
+            domain_seed_sequence(self.seed, SECURE_AGGREGATION_DOMAIN, self.round_index, low, high)
+        )
+        return [rng.normal(0.0, self.mask_scale, size=shape) for shape in shapes]
+
+    def round_mask(self, client_id: int, shapes: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+        """The net mask ``client_id`` adds to its upload this round."""
+        client_id = int(client_id)
+        if client_id not in self.participants:
+            raise ValueError(f"client {client_id} does not participate in this round")
+        total = [np.zeros(shape, dtype=np.float64) for shape in shapes]
+        for other in self.participants:
+            if other == client_id:
+                continue
+            sign = 1.0 if client_id < other else -1.0
+            for layer_index, layer in enumerate(self._pair_mask(client_id, other, shapes)):
+                total[layer_index] = total[layer_index] + sign * layer
+        return total
+
+    def mask_update(self, client_id: int, update: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """The masked update ``client_id`` uploads to the server."""
+        shapes = [np.shape(layer) for layer in update]
+        mask = self.round_mask(client_id, shapes)
+        return [
+            np.asarray(layer, dtype=np.float64) + mask_layer
+            for layer, mask_layer in zip(update, mask)
+        ]

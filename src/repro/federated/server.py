@@ -9,11 +9,13 @@ import numpy as np
 
 from .aggregation import fedavg_aggregate, fedsgd_aggregate
 from .availability import AvailabilityDraw, AvailabilityModel
+from .byzantine import ByzantineBehaviour
 from .compression import prune_update
 from .config import CLIENT_SAMPLING_SCHEMES
 from .sampling import sample_clients_fixed, sample_clients_poisson
+from .secure_aggregation import RoundSecureAggregator
 
-__all__ = ["AttackRecord", "RoundResult", "FederatedServer"]
+__all__ = ["AttackRecord", "MIARecord", "RoundResult", "FederatedServer"]
 
 
 @dataclass
@@ -48,6 +50,36 @@ class AttackRecord:
 
 
 @dataclass
+class MIARecord:
+    """Outcome of one in-loop membership inference audit against one client.
+
+    Produced by the ``attack="membership"`` schedule after each attacked
+    round's aggregation: the adversary audits the *released* global weights
+    ``W(t+1)`` with the loss-threshold attack of
+    :mod:`repro.core.membership_inference`, using the attacked client's shard
+    as members and a same-size held-out sample as non-members.  All fields
+    are plain JSON scalars and ride on the round's :class:`RoundResult` into
+    checkpoints and golden fixtures.
+    """
+
+    #: id of the audited (participating) client
+    client_id: int
+    #: threshold-free attack AUC (0.5 = chance; the per-round headline metric)
+    auc: float
+    #: membership advantage (TPR - FPR) of the Yeom-calibrated threshold attack
+    advantage: float
+    #: balanced accuracy of the threshold attack
+    accuracy: float
+    #: mean loss of the client's (member) examples under the released model
+    mean_member_loss: float
+    #: mean loss of the held-out (non-member) sample
+    mean_nonmember_loss: float
+    #: member / non-member evaluation-set sizes
+    members: int
+    nonmembers: int
+
+
+@dataclass
 class RoundResult:
     """Summary of one federated round, recorded by the simulation history."""
 
@@ -75,6 +107,9 @@ class RoundResult:
     #: in-loop adversary outcomes for this round (empty when the round was
     #: not attacked or no attack schedule is configured)
     attacks: List[AttackRecord] = field(default_factory=list)
+    #: in-loop membership inference audits for this round (empty unless an
+    #: ``attack="membership"`` schedule struck the round)
+    mia: List[MIARecord] = field(default_factory=list)
 
     @property
     def skipped(self) -> bool:
@@ -98,6 +133,19 @@ class FederatedServer:
     compression_ratio:
         When positive, each shared update is pruned (communication-efficient
         FL, Figure 5) before aggregation.
+    byzantine:
+        Optional :class:`~repro.federated.byzantine.ByzantineBehaviour`: the
+        designated clients' uploads are tampered with (scale / sign_flip)
+        before any server-side processing, modelling a malicious participant
+        rather than a server-side step.
+    secure_aggregation:
+        When ``True``, each participant's (sanitised, compressed) update is
+        pairwise-masked against the round's other participants before
+        aggregation (see :class:`~repro.federated.secure_aggregation.
+        RoundSecureAggregator`); the masks cancel in the FedSGD mean, so only
+        individual uploads — not the aggregate — are hidden.  Requires
+        ``aggregation="fedsgd"``.  ``secure_seed`` keys the mask streams
+        (pass the config seed) and ``secure_mask_scale`` their magnitude.
     client_sampling:
         ``"fixed"`` (exactly ``clients_per_round`` distinct clients) or
         ``"poisson"`` (each client independently with probability
@@ -118,6 +166,10 @@ class FederatedServer:
         compression_ratio: float = 0.0,
         client_sampling: str = "fixed",
         keep_round_results: bool = True,
+        byzantine: Optional[ByzantineBehaviour] = None,
+        secure_aggregation: bool = False,
+        secure_seed: int = 0,
+        secure_mask_scale: float = 10.0,
     ) -> None:
         if aggregation not in ("fedsgd", "fedavg"):
             raise ValueError("aggregation must be 'fedsgd' or 'fedavg'")
@@ -126,12 +178,18 @@ class FederatedServer:
                 f"unknown client_sampling {client_sampling!r}; "
                 f"expected one of {CLIENT_SAMPLING_SCHEMES}"
             )
+        if secure_aggregation and aggregation != "fedsgd":
+            raise ValueError("secure_aggregation requires aggregation='fedsgd'")
         self.global_weights: List[np.ndarray] = [np.array(w, dtype=np.float64, copy=True) for w in global_weights]
         self.aggregation = aggregation
         self.update_sanitizer = update_sanitizer
         self.compression_ratio = float(compression_ratio)
         self.client_sampling = client_sampling
         self.keep_round_results = bool(keep_round_results)
+        self.byzantine = byzantine
+        self.secure_aggregation = bool(secure_aggregation)
+        self.secure_seed = int(secure_seed)
+        self.secure_mask_scale = float(secure_mask_scale)
         self.round_results: List[RoundResult] = []
 
     # ------------------------------------------------------------------
@@ -249,8 +307,12 @@ class FederatedServer:
         norms: List[float] = []
         times: List[float] = []
         metadata: Dict[str, float] = {}
-        for result in results:
+        for client_index, result in zip(participants, results):
             delta = result.delta
+            if self.byzantine is not None:
+                # a malicious client tampers with its *upload*, before any
+                # server-side processing sees it
+                delta = self.byzantine.transform_update(int(client_index), delta)
             if self.update_sanitizer is not None:
                 delta = self.update_sanitizer(delta, round_index, rng)
             if self.compression_ratio > 0.0:
@@ -261,6 +323,18 @@ class FederatedServer:
             norms.append(result.mean_gradient_norm)
             times.append(result.time_per_iteration_ms)
             metadata.update(result.metadata)
+
+        if self.secure_aggregation:
+            # each participant uploads update + pairwise masks instead; the
+            # masks cancel in the aggregate (up to float summation residue),
+            # so the server learns the mean without seeing any single update
+            aggregator = RoundSecureAggregator(
+                participants, self.secure_seed, round_index, mask_scale=self.secure_mask_scale
+            )
+            updates = [
+                aggregator.mask_update(int(client_index), delta)
+                for client_index, delta in zip(participants, updates)
+            ]
 
         if self.aggregation == "fedsgd":
             self.global_weights = fedsgd_aggregate(self.global_weights, updates)

@@ -38,11 +38,12 @@ from repro.nn import build_model_for_dataset, evaluate_accuracy
 from repro.privacy.ledger import AccountingContext, make_accountant
 
 from .availability import AvailabilityModel
+from .byzantine import ByzantineBehaviour
 from .client import FederatedClient, LazyClientRoster
 from .config import PRIVATE_METHODS, FederatedConfig
 from .executor import client_id_seed_sequence, make_executor, spawn_client_seeds
 from .history import RoundSpool, round_result_from_payload, round_result_to_payload
-from .server import AttackRecord, FederatedServer, RoundResult
+from .server import AttackRecord, FederatedServer, MIARecord, RoundResult
 
 __all__ = ["SimulationHistory", "FederatedSimulation", "CHECKPOINT_FORMAT_VERSION"]
 
@@ -125,7 +126,7 @@ class SimulationHistory:
     @property
     def attacked_rounds(self) -> List[int]:
         """Round indices at which the in-loop adversary struck."""
-        return [r.round_index for r in self.rounds if r.attacks]
+        return [r.round_index for r in self.rounds if r.attacks or r.mia]
 
     @property
     def attack_records(self) -> List[AttackRecord]:
@@ -147,6 +148,28 @@ class SimulationHistory:
         if not records:
             return float("nan")
         return float(np.mean([record.success for record in records]))
+
+    @property
+    def mia_records(self) -> List[MIARecord]:
+        """All in-loop membership inference audits across the run, in round order."""
+        return [record for r in self.rounds for record in r.mia]
+
+    @property
+    def mia_auc_by_round(self) -> Dict[int, float]:
+        """Mean membership AUC of each audited round (the per-round leakage series)."""
+        return {
+            r.round_index: float(np.mean([record.auc for record in r.mia]))
+            for r in self.rounds
+            if r.mia
+        }
+
+    @property
+    def mean_mia_auc(self) -> float:
+        """Mean membership AUC over every in-loop audit (NaN when none ran)."""
+        records = self.mia_records
+        if not records:
+            return float("nan")
+        return float(np.mean([record.auc for record in records]))
 
     # ------------------------------------------------------------------
     # Serialization (checkpoints and the CLI's ``--output`` JSON)
@@ -252,17 +275,28 @@ class FederatedSimulation:
             dirichlet_alpha=config.dirichlet_alpha,
             quantity_skew_exponent=config.quantity_skew_exponent,
         )
+        # byzantine behaviour (if any): label_flip poisons the designated
+        # clients' shards at construction time, scale/sign_flip tamper with
+        # their uploads inside the server's collection loop
+        self.byzantine = ByzantineBehaviour.from_config(config)
+        shard_transform = self.byzantine.transform_shard if self.byzantine is not None else None
         if config.resolved_client_state == "eager":
             self.shards = self.population.materialize()
             self.clients = [
-                FederatedClient(client_id, shard, self.trainer)
+                FederatedClient(
+                    client_id,
+                    shard if shard_transform is None else shard_transform(client_id, shard),
+                    self.trainer,
+                )
                 for client_id, shard in enumerate(self.shards)
             ]
         else:
             # cross-device scale: no per-client object exists until the
             # round's sampled cohort is indexed
             self.shards = None
-            self.clients = LazyClientRoster(self.population, self.trainer)
+            self.clients = LazyClientRoster(
+                self.population, self.trainer, shard_transform=shard_transform
+            )
         self.executor = make_executor(
             config,
             self.clients,
@@ -282,6 +316,10 @@ class FederatedSimulation:
             # with a disk spool the history owns the rounds; the server must
             # not mirror them in an unbounded in-RAM list
             keep_round_results=history_spool is None,
+            byzantine=self.byzantine,
+            secure_aggregation=config.secure_aggregation,
+            secure_seed=config.seed,
+            secure_mask_scale=config.secure_mask_scale,
         )
         self.availability = AvailabilityModel.from_config(config)
         # lazy import: the attack stack (scipy's optimiser) is only paid for
@@ -386,13 +424,18 @@ class FederatedSimulation:
             if attack_this_round and not result.skipped:
                 # observational only: the attack consumes its own RNG domain
                 # and never touches server, trainer or accountant state, so
-                # the training trajectory matches the unattacked run exactly
-                result.attacks = self.attack_schedule.run_round_attacks(
+                # the training trajectory matches the unattacked run exactly.
+                # reconstruction attacks target the broadcast W(t); the
+                # membership audit targets the *released* W(t+1) the server
+                # just aggregated
+                result.attacks, result.mia = self.attack_schedule.run_round_attacks(
                     self.trainer,
                     self.clients,
                     broadcast_weights,
                     result.participating_clients,
                     round_index,
+                    released_weights=self.server.global_weights,
+                    nonmember_dataset=self.val_dataset,
                 )
             history.rounds.append(result)
             if is_private:

@@ -1,0 +1,89 @@
+"""Tests for the adaptive attacker's budget-tuning policy.
+
+The policy keys the reconstruction budget on how *anomalous* the observed
+update norm is relative to the defender's announced clipping bound: clipping
+pins norms below the bound, DP noise inflates them far above it, and either
+deviation signals sanitisation worth spending extra restarts/iterations on.
+A crisp observation near the reference keeps the base budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.adaptive import (
+    AdaptiveBudget,
+    observed_update_norm,
+    tune_attack_budget,
+)
+
+
+def test_observed_update_norm_is_the_global_l2():
+    gradients = [np.array([3.0, 0.0]), np.array([[0.0, 4.0]])]
+    assert observed_update_norm(gradients) == pytest.approx(5.0)
+    assert observed_update_norm([np.zeros(3)]) == 0.0
+
+
+def test_on_reference_observation_keeps_the_base_budget():
+    budget = tune_attack_budget(2.0, 2.0, base_restarts=3, base_iterations=40)
+    assert isinstance(budget, AdaptiveBudget)
+    assert budget.factor == 1.0
+    assert budget.restarts == 3
+    assert budget.iterations == 40
+
+
+@pytest.mark.parametrize("observed", [0.5, 8.0])
+def test_deviation_in_either_direction_earns_more_budget(observed):
+    # 4x below the bound (hard clipping) and 4x above it (noise inflation)
+    # are equally anomalous: factor = sqrt(4) = 2 either way
+    budget = tune_attack_budget(observed, 2.0, base_restarts=2, base_iterations=20)
+    assert budget.factor == pytest.approx(2.0)
+    assert budget.restarts == 4
+    assert budget.iterations == 40
+
+
+def test_budget_escalation_is_capped():
+    extreme = tune_attack_budget(1e6, 2.0, base_restarts=2, base_iterations=20)
+    assert extreme.factor == 4.0  # max_factor
+    assert extreme.restarts == 8
+    assert extreme.iterations == 80
+    custom = tune_attack_budget(1e6, 2.0, base_restarts=2, base_iterations=20, max_factor=2.0)
+    assert custom.factor == 2.0
+
+
+def test_budget_never_shrinks_below_base():
+    # min_factor = 1: a crisp observation is never attacked with *less* than
+    # the configured budget
+    near = tune_attack_budget(2.2, 2.0, base_restarts=3, base_iterations=30)
+    assert near.restarts >= 3 and near.iterations >= 30
+    assert near.factor >= 1.0
+
+
+@pytest.mark.parametrize("observed", [0.0, float("nan"), float("inf"), -1.0])
+def test_degenerate_observations_earn_the_maximum_budget(observed):
+    # an all-zero or non-finite observation means the sanitiser destroyed
+    # the signal entirely: the adversary goes all in
+    budget = tune_attack_budget(observed, 2.0, base_restarts=2, base_iterations=10)
+    assert budget.factor == 4.0
+
+
+def test_tuning_validation():
+    with pytest.raises(ValueError):
+        tune_attack_budget(1.0, 0.0, base_restarts=1, base_iterations=1)
+    with pytest.raises(ValueError):
+        tune_attack_budget(1.0, 1.0, base_restarts=0, base_iterations=1)
+    with pytest.raises(ValueError):
+        tune_attack_budget(1.0, 1.0, base_restarts=1, base_iterations=0)
+    with pytest.raises(ValueError):
+        tune_attack_budget(1.0, 1.0, base_restarts=1, base_iterations=1, min_factor=2.0, max_factor=1.0)
+    with pytest.raises(ValueError):
+        tune_attack_budget(1.0, 1.0, base_restarts=1, base_iterations=1, min_factor=0.0)
+
+
+def test_budget_is_deterministic_and_rng_free():
+    state = np.random.get_state()[1].copy()
+    first = tune_attack_budget(7.3, 2.0, base_restarts=2, base_iterations=25)
+    second = tune_attack_budget(7.3, 2.0, base_restarts=2, base_iterations=25)
+    assert first == second
+    np.testing.assert_array_equal(state, np.random.get_state()[1])

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for the byzantine client behaviours.
+
+The byzantine transforms of :mod:`repro.federated.byzantine` sit directly in
+the server's upload-collection path and (for label flipping) in every
+backend's shard-construction path, so their algebra is pinned down
+property-style: sign flipping is an involution, scaling composes
+multiplicatively, label flipping is an involution on the label space, and —
+crucially for the repo's reproducibility contract — the transforms are pure
+functions that neither consume RNG state nor mutate their inputs, which is
+why byzantine cells keep the serial / multiprocessing / resume bit-identity
+guarantee (asserted end-to-end in tests/federated/test_executor.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.federated.byzantine import (
+    BYZANTINE_MODES,
+    ByzantineBehaviour,
+    flip_labels,
+    scale_update,
+    sign_flip_update,
+)
+from repro.privacy.clipping import clip_by_l2_norm, global_l2_norm
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+def _update(values):
+    """Split a flat list of floats into a two-layer update."""
+    half = max(1, len(values) // 2)
+    return [
+        np.array(values[:half], dtype=np.float64),
+        np.array(values[half:] or [0.0], dtype=np.float64),
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(finite_floats, min_size=2, max_size=24))
+def test_sign_flip_is_an_involution(values):
+    update = _update(values)
+    twice = sign_flip_update(sign_flip_update(update))
+    for layer, original in zip(twice, update):
+        np.testing.assert_array_equal(layer, original)
+    # a flipped update has the exact same norm: sign flipping attacks the
+    # direction of the aggregate, never its magnitude
+    assert global_l2_norm(sign_flip_update(update)) == global_l2_norm(update)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(finite_floats, min_size=2, max_size=24),
+    first=st.floats(min_value=0.1, max_value=10.0),
+    second=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_scale_composes_multiplicatively(values, first, second):
+    update = _update(values)
+    composed = scale_update(scale_update(update, first), second)
+    direct = scale_update(update, first * second)
+    for layer_composed, layer_direct in zip(composed, direct):
+        np.testing.assert_allclose(layer_composed, layer_direct, atol=1e-9, rtol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(finite_floats, min_size=2, max_size=24),
+    factor=st.floats(min_value=1.0, max_value=100.0),
+    bound=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_clipped_byzantine_updates_respect_the_clip_bound(values, factor, bound):
+    # the server clips *after* the byzantine transform, so even an extreme
+    # scaling attack cannot push a sanitised upload past the clipping bound
+    update = _update(values)
+    for corrupted in (scale_update(update, factor), sign_flip_update(update)):
+        clipped = [clip_by_l2_norm(layer, bound) for layer in corrupted]
+        for layer in clipped:
+            assert float(np.linalg.norm(layer)) <= bound + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    labels=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=32),
+    num_classes=st.integers(min_value=5, max_value=10),
+)
+def test_label_flip_is_an_involution_and_stays_in_range(labels, num_classes):
+    features = np.zeros((len(labels), 3), dtype=np.float64)
+    dataset = Dataset(features, np.array(labels, dtype=np.int64), num_classes)
+    flipped = flip_labels(dataset)
+    assert flipped.num_classes == num_classes
+    assert np.all((flipped.labels >= 0) & (flipped.labels < num_classes))
+    # flipping twice restores the original labels; features are untouched
+    np.testing.assert_array_equal(flip_labels(flipped).labels, dataset.labels)
+    np.testing.assert_array_equal(flipped.features, dataset.features)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(finite_floats, min_size=2, max_size=16),
+    factor=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_transforms_are_pure_and_consume_no_rng(values, factor):
+    # the byzantine transforms must not advance any RNG stream (they live in
+    # the deterministic server path, outside every seeded domain) and must
+    # not mutate their inputs in place
+    update = _update(values)
+    snapshot = [layer.copy() for layer in update]
+    state_before = np.random.get_state()[1].copy()
+    scale_update(update, factor)
+    sign_flip_update(update)
+    state_after = np.random.get_state()[1]
+    np.testing.assert_array_equal(state_before, state_after)
+    for layer, original in zip(update, snapshot):
+        np.testing.assert_array_equal(layer, original)
+
+
+# ----------------------------------------------------------------------
+# ByzantineBehaviour: routing and validation
+# ----------------------------------------------------------------------
+def test_behaviour_routes_only_listed_clients():
+    behaviour = ByzantineBehaviour(clients=(1, 3), mode="scale", scale=2.0)
+    update = [np.ones(4)]
+    np.testing.assert_array_equal(behaviour.transform_update(1, update)[0], 2.0 * np.ones(4))
+    np.testing.assert_array_equal(behaviour.transform_update(2, update)[0], np.ones(4))
+    assert behaviour.affects(3) and not behaviour.affects(0)
+
+
+def test_label_flip_behaviour_transforms_shards_not_updates():
+    behaviour = ByzantineBehaviour(clients=(0,), mode="label_flip")
+    update = [np.ones(3)]
+    np.testing.assert_array_equal(behaviour.transform_update(0, update)[0], update[0])
+    dataset = Dataset(np.zeros((2, 2)), np.array([0, 1]), num_classes=2)
+    flipped = behaviour.transform_shard(0, dataset)
+    np.testing.assert_array_equal(flipped.labels, [1, 0])
+    untouched = behaviour.transform_shard(1, dataset)
+    np.testing.assert_array_equal(untouched.labels, dataset.labels)
+
+
+def test_behaviour_validation():
+    with pytest.raises(ValueError):
+        ByzantineBehaviour(clients=(), mode="scale")
+    with pytest.raises(ValueError):
+        ByzantineBehaviour(clients=(0,), mode="martian")
+    with pytest.raises(ValueError):
+        ByzantineBehaviour(clients=(0,), mode="scale", scale=0.0)
+    assert set(BYZANTINE_MODES) == {"scale", "sign_flip", "label_flip"}
+
+
+def test_from_config_returns_none_for_benign_configs():
+    from repro.experiments.harness import quick_config
+
+    benign = quick_config("cancer", "fed_cdp")
+    assert ByzantineBehaviour.from_config(benign) is None
+    corrupt = quick_config(
+        "cancer", "fed_cdp", byzantine_clients=(2,), byzantine_mode="sign_flip"
+    )
+    behaviour = ByzantineBehaviour.from_config(corrupt)
+    assert behaviour is not None and behaviour.affects(2)

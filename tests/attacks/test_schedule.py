@@ -101,6 +101,68 @@ def test_config_serialisation_round_trips_attack_fields():
     assert FederatedConfig.from_dict(json.loads(json.dumps(every.to_dict()))) == every
 
 
+def test_config_validates_byzantine_fields():
+    # mode and clients must come together
+    with pytest.raises(ValueError, match="together"):
+        quick_config("cancer", "fed_cdp", byzantine_mode="scale")
+    with pytest.raises(ValueError, match="together"):
+        quick_config("cancer", "fed_cdp", byzantine_clients=(0,))
+    with pytest.raises(ValueError):
+        quick_config("cancer", "fed_cdp", byzantine_clients=(0,), byzantine_mode="bogus")
+    with pytest.raises(ValueError):
+        quick_config("cancer", "fed_cdp", byzantine_clients=(999,), byzantine_mode="scale")
+    with pytest.raises(ValueError):
+        quick_config(
+            "cancer", "fed_cdp", byzantine_clients=(0,), byzantine_mode="scale",
+            byzantine_scale=0.0,
+        )
+    config = quick_config(
+        "cancer", "fed_cdp", byzantine_clients=[3, 1, 3], byzantine_mode="sign_flip"
+    )
+    assert config.byzantine_clients == (1, 3)  # sorted, deduped
+
+
+def test_config_validates_secure_aggregation_fields():
+    with pytest.raises(ValueError, match="fedsgd"):
+        quick_config("cancer", "nonprivate", secure_aggregation=True, aggregation="fedavg")
+    with pytest.raises(ValueError):
+        quick_config("cancer", "nonprivate", secure_mask_scale=0.0)
+    config = quick_config("cancer", "nonprivate", secure_aggregation=True)
+    assert config.secure_aggregation and config.aggregation == "fedsgd"
+
+
+def test_config_serialisation_omits_catalogue_defaults():
+    # PR-4 convention: fields at their defaults vanish from the payload, so
+    # every pre-catalogue checkpoint and golden fixture stays byte-identical
+    payload = quick_config("cancer", "fed_cdp").to_dict()
+    for name in (
+        "byzantine_clients",
+        "byzantine_mode",
+        "byzantine_scale",
+        "secure_aggregation",
+        "secure_mask_scale",
+    ):
+        assert name not in payload
+
+
+def test_config_serialisation_round_trips_catalogue_fields():
+    import json
+
+    config = quick_config(
+        "cancer",
+        "fed_cdp",
+        byzantine_clients=(0, 2),
+        byzantine_mode="scale",
+        byzantine_scale=3.0,
+        secure_aggregation=True,
+        secure_mask_scale=5.0,
+    )
+    payload = json.loads(json.dumps(config.to_dict()))
+    assert payload["byzantine_clients"] == [0, 2]
+    assert payload["secure_aggregation"] is True
+    assert FederatedConfig.from_dict(payload) == config
+
+
 # ----------------------------------------------------------------------
 # AttackSchedule semantics
 # ----------------------------------------------------------------------
@@ -147,10 +209,21 @@ def test_attack_domain_streams_keyed_on_round_client_restart():
 
 
 def test_attack_domain_disjoint_from_training_and_availability_domains():
+    from repro.attacks.adaptive import ADAPTIVE_ATTACK_DOMAIN
+    from repro.attacks.schedule import MEMBERSHIP_ATTACK_DOMAIN
     from repro.federated.availability import _AVAILABILITY_DOMAIN
     from repro.federated.executor import _CLIENT_STREAM_DOMAIN
+    from repro.federated.secure_aggregation import SECURE_AGGREGATION_DOMAIN
 
-    assert len({ATTACK_DOMAIN, _AVAILABILITY_DOMAIN, _CLIENT_STREAM_DOMAIN}) == 3
+    domains = {
+        ATTACK_DOMAIN,
+        ADAPTIVE_ATTACK_DOMAIN,
+        MEMBERSHIP_ATTACK_DOMAIN,
+        SECURE_AGGREGATION_DOMAIN,
+        _AVAILABILITY_DOMAIN,
+        _CLIENT_STREAM_DOMAIN,
+    }
+    assert len(domains) == 6  # every adversary and subsystem draws apart
 
 
 # ----------------------------------------------------------------------

@@ -36,6 +36,10 @@ from repro.autodiff import (
 )
 
 ATOL = 1e-10
+#: replayed GEMMs may reassociate float ops vs the per-row reference, so
+#: comparisons on randomly composed pipelines (where repeated `square` ops
+#: push magnitudes to 1e6+) need a relative term on top of the absolute one
+RTOL = 1e-9
 
 #: op pool for the random pipelines: name -> (needs_weight, apply(x, weight))
 _PIPELINE_OPS = {
@@ -111,12 +115,12 @@ def test_random_graphs_replay_rowwise(op_names, width, batch, seed):
     for index in range(batch):
         example = Tensor(feeds[index])
         loss = apply(example)
-        assert outs[-1][index] == pytest.approx(float(loss.item()), abs=ATOL)
+        assert outs[-1][index] == pytest.approx(float(loss.item()), abs=ATOL, rel=RTOL)
         if weights:
             reference = grad(loss, weights)
             for out, ref, weight in zip(outs, reference, weights):
                 assert out.shape == (batch,) + weight.shape
-                np.testing.assert_allclose(out[index], ref.numpy(), atol=ATOL, rtol=0)
+                np.testing.assert_allclose(out[index], ref.numpy(), atol=ATOL, rtol=RTOL)
 
 
 @settings(max_examples=15, deadline=None)
@@ -132,7 +136,7 @@ def test_batch_of_one_equals_direct_evaluation(op_names, width, seed):
     feed = rng.normal(size=(1, 1, width))
     outs = graph.replay({"x": feed})
     assert outs[-1].shape == (1,)
-    assert outs[-1][0] == pytest.approx(float(apply(Tensor(feed[0])).item()), abs=ATOL)
+    assert outs[-1][0] == pytest.approx(float(apply(Tensor(feed[0])).item()), abs=ATOL, rel=RTOL)
 
 
 @settings(max_examples=10, deadline=None)
@@ -154,7 +158,7 @@ def test_ragged_batch_sizes_reuse_one_compiled_graph(op_names, width, seed, size
     for size in sizes:
         outs = graph.replay({"x": pool[:size]})
         assert outs[-1].shape == (size,)
-        np.testing.assert_allclose(outs[-1], reference[:size], atol=ATOL, rtol=0)
+        np.testing.assert_allclose(outs[-1], reference[:size], atol=ATOL, rtol=RTOL)
 
 
 def test_chunked_replay_matches_full_width():

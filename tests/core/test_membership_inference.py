@@ -9,6 +9,7 @@ from repro.autodiff import Tensor, backward
 from repro.core.membership_inference import (
     MembershipInferenceResult,
     loss_threshold_attack,
+    membership_auc,
     per_example_losses,
 )
 from repro.data import generate_tabular_dataset
@@ -63,6 +64,54 @@ def test_attack_near_chance_for_untrained_model(overfit_setup):
     # an untrained model cannot separate members from non-members
     assert abs(result.advantage) < 0.25
     assert 0.35 < result.accuracy < 0.65
+
+
+def test_membership_auc_on_known_distributions():
+    # perfectly separated scores: every member loss below every nonmember loss
+    assert membership_auc([0.1, 0.2], [0.9, 1.0]) == 1.0
+    # perfectly anti-separated
+    assert membership_auc([0.9, 1.0], [0.1, 0.2]) == 0.0
+    # identical distributions are pure chance — all comparisons tie at 0.5
+    assert membership_auc([0.3, 0.3], [0.3, 0.3]) == 0.5
+    # hand-computable mixed case: pairs (0.1<0.2), (0.1<0.4), (0.3<0.4) win,
+    # (0.3>0.2) loses -> 3/4
+    assert membership_auc([0.1, 0.3], [0.2, 0.4]) == pytest.approx(0.75)
+    # exact Mann-Whitney: complementing the roles reflects the AUC around 0.5
+    member = [0.11, 0.52, 0.48, 0.9]
+    nonmember = [0.3, 0.61, 0.77]
+    assert membership_auc(member, nonmember) + membership_auc(nonmember, member) == pytest.approx(1.0)
+
+
+def test_membership_auc_rejects_degenerate_inputs():
+    with pytest.raises(ValueError):
+        membership_auc([], [0.5])
+    with pytest.raises(ValueError):
+        membership_auc([0.5], [])
+
+
+def test_membership_auc_is_deterministic_and_seed_free():
+    rng = np.random.default_rng(0)
+    members = rng.normal(0.0, 1.0, size=37)
+    nonmembers = rng.normal(0.5, 1.0, size=23)
+    state = np.random.get_state()[1].copy()
+    first = membership_auc(members, nonmembers)
+    second = membership_auc(members, nonmembers)
+    # a rank statistic: no RNG consumed, same value on every call
+    assert first == second
+    np.testing.assert_array_equal(state, np.random.get_state()[1])
+    assert 0.0 <= first <= 1.0
+
+
+def test_attack_result_carries_auc(overfit_setup):
+    model, members, nonmembers = overfit_setup
+    result = loss_threshold_attack(
+        model, members.features, members.labels, nonmembers.features, nonmembers.labels
+    )
+    member_losses = per_example_losses(model, members.features, members.labels)
+    nonmember_losses = per_example_losses(model, nonmembers.features, nonmembers.labels)
+    assert result.auc == membership_auc(member_losses, nonmember_losses)
+    # the overfit model leaks: members rank below nonmembers far beyond chance
+    assert result.auc > 0.7
 
 
 def test_attack_threshold_override_and_validation(overfit_setup):

@@ -10,6 +10,7 @@ from repro.experiments.scenarios import (
     ATTACK_SCENARIO_DEFAULTS,
     AVAILABILITY_SCENARIOS,
     PARTITION_SCENARIOS,
+    TRANSPORT_SCENARIOS,
     run_scenario_matrix,
 )
 
@@ -41,7 +42,8 @@ def test_matrix_runs_every_cell_and_formats():
         assert 0.0 <= cell.final_accuracy <= 1.0
         assert cell.final_epsilon == 0.0  # nonprivate
         assert cell.equal_shard_epsilon == 0.0
-        assert result.histories[(cell.partition, cell.availability, cell.method)]
+        assert cell.transport == "plain"  # the default matrix sweeps one transport
+        assert result.histories[(cell.partition, cell.availability, cell.transport, cell.method)]
     rendered = result.formatted()
     assert "Scenario matrix" in rendered
     assert "dirichlet(0.1)" in rendered
@@ -80,13 +82,66 @@ def test_attacked_matrix_fills_resilience_columns():
     for cell in result.cells:
         assert math.isfinite(cell.attack_mse)
         assert 0.0 <= cell.attack_success <= 1.0
-        history = result.histories[(cell.partition, cell.availability, cell.method)]
+        history = result.histories[
+            (cell.partition, cell.availability, cell.transport, cell.method)
+        ]
         expected = resolve_attack_rounds(ATTACK_SCENARIO_DEFAULTS["attack_rounds"], 2)
         assert history.attacked_rounds == list(expected)
     # the resilience ordering the matrix exists to surface
     assert by_method["fed_cdp"].attack_mse > by_method["nonprivate"].attack_mse
     rendered = result.formatted()
-    assert "-" not in [row.split()[-1] for row in rendered.splitlines() if row.startswith("iid")]
+    data_rows = [row.split() for row in rendered.splitlines() if row.startswith("iid")]
+    # leakage fills attack-mse / attack-success; mia-auc stays a dash
+    assert data_rows and all(row[-3] != "-" and row[-2] != "-" for row in data_rows)
+    assert all(row[-1] == "-" for row in data_rows)
+
+
+def test_transport_axis_sweeps_and_keys_histories():
+    result = run_scenario_matrix(
+        methods=("nonprivate",),
+        partitions=["iid"],
+        availabilities=["reliable"],
+        transports=["plain", "pruned(0.5)", "secure-agg"],
+        dataset="cancer",
+        profile="quick",
+        seed=2,
+        rounds=2,
+        eval_every=2,
+    )
+    assert {cell.transport for cell in result.cells} == {"plain", "pruned(0.5)", "secure-agg"}
+    by_transport = {cell.transport: cell for cell in result.cells}
+    for cell in result.cells:
+        assert result.histories[("iid", "reliable", cell.transport, "nonprivate")]
+    # pairwise masks cancel in the fedsgd mean: secure-agg reproduces the
+    # plain trajectory up to float summation order
+    assert by_transport["secure-agg"].final_accuracy == pytest.approx(
+        by_transport["plain"].final_accuracy, abs=1e-6
+    )
+    assert by_transport["secure-agg"].config.secure_aggregation
+    assert by_transport["pruned(0.5)"].config.compression_ratio == 0.5
+    rendered = result.formatted()
+    assert "transport" in rendered and "secure-agg" in rendered
+
+
+def test_membership_attacked_matrix_fills_mia_auc_column():
+    result = run_scenario_matrix(
+        methods=("nonprivate",),
+        partitions=["iid"],
+        availabilities=["reliable"],
+        dataset="cancer",
+        profile="quick",
+        seed=2,
+        rounds=2,
+        eval_every=2,
+        attack="membership",
+    )
+    (cell,) = result.cells
+    assert 0.0 <= cell.mia_auc <= 1.0
+    # membership audits do not run the reconstruction attack
+    assert math.isnan(cell.attack_mse)
+    rendered = result.formatted()
+    row = next(line.split() for line in rendered.splitlines() if line.startswith("iid"))
+    assert row[-1] != "-" and row[-3] == "-"
 
 
 def test_private_cells_report_both_epsilons_side_by_side():
@@ -143,3 +198,6 @@ def test_default_scenario_registries_are_wired():
     assert set(PARTITION_SCENARIOS["dirichlet(0.1)"]) == {"partition", "dirichlet_alpha"}
     assert "dropout_rate" in AVAILABILITY_SCENARIOS["dropout(0.3)"]
     assert AVAILABILITY_SCENARIOS["reliable"] == {}
+    assert TRANSPORT_SCENARIOS["plain"] == {}
+    assert TRANSPORT_SCENARIOS["secure-agg"] == {"secure_aggregation": True}
+    assert TRANSPORT_SCENARIOS["pruned(0.5)"] == {"compression_ratio": 0.5}

@@ -213,6 +213,107 @@ def test_cnn_attacked_checkpoint_resume_bit_identical(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Adversary-catalogue cells: byzantine behaviours and the in-loop
+# membership audit must keep the serial / multiprocessing / resume contract
+# ----------------------------------------------------------------------
+def _byzantine_config(**overrides):
+    """Label flipping: the one byzantine mode that rewrites client *shards*,
+    so it exercises the worker-side dataset path of every backend."""
+    config = quick_config(
+        "cancer",
+        "fed_cdp",
+        partition="iid",
+        rounds=3,
+        eval_every=1,
+        seed=1234,
+        byzantine_clients=(0, 3),
+        byzantine_mode="label_flip",
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _mia_config(**overrides):
+    """The golden ``fed_cdp_iid_mia`` scenario (in-loop membership audit)."""
+    config = quick_config(
+        "cancer",
+        "fed_cdp",
+        partition="iid",
+        rounds=3,
+        eval_every=1,
+        seed=1234,
+        attack="membership",
+        attack_rounds=(0, 2),
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _mia_metrics(history):
+    return [
+        [(m.client_id, m.auc, m.advantage, m.mean_member_loss, m.mean_nonmember_loss) for m in r.mia]
+        for r in history.rounds
+    ]
+
+
+def test_byzantine_label_flip_serial_and_multiprocessing_bit_identical():
+    config = _byzantine_config()
+    serial = _run(config)
+    parallel = _run(config.with_overrides(executor="multiprocessing", num_workers=2))
+    _assert_histories_equal(serial, parallel)
+    assert [r.mean_loss for r in serial.rounds] == [r.mean_loss for r in parallel.rounds]
+    assert list(serial.gradient_norm_series) == list(parallel.gradient_norm_series)
+
+
+def test_byzantine_label_flip_lazy_matches_eager():
+    config = _byzantine_config()
+    eager = _run(config.with_overrides(client_state="eager"))
+    lazy = _run(config.with_overrides(client_state="lazy"))
+    _assert_histories_equal(eager, lazy)
+    assert [r.mean_loss for r in eager.rounds] == [r.mean_loss for r in lazy.rounds]
+
+
+def test_byzantine_checkpoint_resume_bit_identical(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    config = _byzantine_config()
+    uninterrupted = _run(config)
+
+    FederatedSimulation(config).run(rounds=1, checkpoint_path=checkpoint)
+    resumed = FederatedSimulation.from_checkpoint(checkpoint).run()
+
+    _assert_histories_equal(uninterrupted, resumed)
+    assert [r.mean_loss for r in uninterrupted.rounds] == [r.mean_loss for r in resumed.rounds]
+
+
+def test_mia_serial_and_multiprocessing_bit_identical():
+    config = _mia_config()
+    serial = _run(config)
+    parallel = _run(config.with_overrides(executor="multiprocessing", num_workers=2))
+    _assert_histories_equal(serial, parallel)
+    assert _mia_metrics(serial) == _mia_metrics(parallel)
+
+
+def test_mia_checkpoint_resume_bit_identical(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    config = _mia_config()
+    uninterrupted = _run(config)
+
+    FederatedSimulation(config).run(rounds=1, checkpoint_path=checkpoint)
+    resumed = FederatedSimulation.from_checkpoint(checkpoint).run()
+
+    _assert_histories_equal(uninterrupted, resumed)
+    assert _mia_metrics(uninterrupted) == _mia_metrics(resumed)
+
+
+def test_secure_aggregation_serial_and_multiprocessing_bit_identical():
+    config = quick_config(
+        "cancer", "fed_cdp", rounds=3, eval_every=1, seed=1234, secure_aggregation=True
+    )
+    serial = _run(config)
+    parallel = _run(config.with_overrides(executor="multiprocessing", num_workers=2))
+    _assert_histories_equal(serial, parallel)
+    assert [r.mean_loss for r in serial.rounds] == [r.mean_loss for r in parallel.rounds]
+
+
+# ----------------------------------------------------------------------
 # Batch-fused executor (opt-in)
 # ----------------------------------------------------------------------
 def test_make_executor_selects_fused_backend():

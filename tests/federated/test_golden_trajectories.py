@@ -70,6 +70,21 @@ def golden_configs() -> Dict[str, FederatedConfig]:
         configs[f"{method}_iid_attacked"] = quick_config(
             "cancer", method, partition="iid", **base, **attack
         )
+    # adversary-catalogue cells: one byzantine behaviour (genuinely perturbs
+    # training — the perturbed trajectory itself is what the fixture locks)
+    # and one in-loop membership audit (observational, like leakage)
+    configs["fed_cdp_iid_byzantine"] = quick_config(
+        "cancer",
+        "fed_cdp",
+        partition="iid",
+        byzantine_clients=(0,),
+        byzantine_mode="scale",
+        byzantine_scale=5.0,
+        **base,
+    )
+    configs["fed_cdp_iid_mia"] = quick_config(
+        "cancer", "fed_cdp", partition="iid", attack="membership", attack_rounds=(0, 2), **base
+    )
     # conv-model cell: Fed-CDP per-example clipping AND the in-loop attack
     # both run through the batched-graph engine on a CNN (mnist quick scale);
     # its serial / multiprocessing / resume bit-identity is asserted in
@@ -122,6 +137,21 @@ def trajectory_payload(history) -> dict:
                     "restarts": int(a.restarts),
                 }
                 for a in r.attacks
+            ]
+        if r.mia:
+            # same convention: the key only exists on audited rounds
+            entry["mia"] = [
+                {
+                    "client_id": m.client_id,
+                    "auc": float(m.auc),
+                    "advantage": float(m.advantage),
+                    "accuracy": float(m.accuracy),
+                    "mean_member_loss": float(m.mean_member_loss),
+                    "mean_nonmember_loss": float(m.mean_nonmember_loss),
+                    "members": int(m.members),
+                    "nonmembers": int(m.nonmembers),
+                }
+                for m in r.mia
             ]
         rounds.append(entry)
     return {
@@ -220,6 +250,43 @@ def test_attacked_fixtures_record_attacks_without_perturbing_training():
         }
     for round_index, nonprivate_mse in mse["nonprivate"].items():
         assert mse["fed_cdp"][round_index] > nonprivate_mse
+
+
+def test_mia_fixture_records_audits_without_perturbing_training():
+    """The membership audit reads released weights; it never touches training."""
+    with open(os.path.join(GOLDEN_DIR, "fed_cdp_iid_mia.json")) as handle:
+        audited = json.load(handle)
+    with open(os.path.join(GOLDEN_DIR, "fed_cdp_iid.json")) as handle:
+        unaudited = json.load(handle)
+    assert audited["accuracy_by_round"] == unaudited["accuracy_by_round"]
+    for with_audit, without in zip(audited["rounds"], unaudited["rounds"]):
+        assert with_audit["mean_loss"] == without["mean_loss"]
+        assert with_audit["mean_gradient_norm"] == without["mean_gradient_norm"]
+    audited_rounds = [r for r in audited["rounds"] if "mia" in r]
+    assert [r["round_index"] for r in audited_rounds] == [0, 2]
+    for entry in audited_rounds:
+        for record in entry["mia"]:
+            assert 0.0 <= record["auc"] <= 1.0
+            assert record["members"] > 0 and record["nonmembers"] > 0
+
+
+def test_byzantine_fixture_genuinely_perturbs_training():
+    """Unlike the observational adversaries, a byzantine client shifts the
+    aggregate — the fixture must differ from the benign cell of the method."""
+    with open(os.path.join(GOLDEN_DIR, "fed_cdp_iid_byzantine.json")) as handle:
+        byzantine = json.load(handle)
+    with open(os.path.join(GOLDEN_DIR, "fed_cdp_iid.json")) as handle:
+        benign = json.load(handle)
+    assert byzantine["config"]["byzantine_clients"] == [0]
+    assert byzantine["config"]["byzantine_mode"] == "scale"
+    # the same clients train on the same shards ...
+    for corrupt, honest in zip(byzantine["rounds"], benign["rounds"]):
+        assert corrupt["selected_clients"] == honest["selected_clients"]
+    # ... but the corrupted uploads move the global model
+    assert any(
+        corrupt["mean_loss"] != honest["mean_loss"]
+        for corrupt, honest in zip(byzantine["rounds"][1:], benign["rounds"][1:])
+    )
 
 
 def test_flaky_fixture_exercises_availability():

@@ -1,0 +1,274 @@
+"""Adversary-catalogue resilience regression suite.
+
+The acceptance demo for the threat catalogue: on the same attacked iid run,
+Fed-CDP beats the non-private baseline on *both* leakage axes — its
+reconstruction MSE strictly exceeds non-private's AND its membership AUC sits
+strictly closer to the 0.5 coin flip — at every attacked round.  Around that
+headline, the suite locks the catalogue's contracts: the membership and
+adaptive adversaries are purely observational (attacked trajectory
+bit-identical to the unattacked one), the adaptive attacker genuinely spends
+more budget on sanitised observations, secure aggregation blinds the
+server-side reconstruction while leaving training untouched, byzantine
+clients perturb training without touching honest clients' streams, and
+sparsified uploads change what the adversary sees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import quick_config
+from repro.federated import FederatedSimulation
+
+#: Boosted local training so the non-private baseline genuinely overfits its
+#: shards — without memorisation there is nothing for the audit to detect,
+#: and the acceptance comparison would be vacuous.
+BASE = dict(
+    partition="iid",
+    rounds=3,
+    eval_every=1,
+    seed=1234,
+    local_iterations=20,
+    learning_rate=0.1,
+)
+ATTACK_ROUNDS = (0, 2)
+
+
+def _run(config):
+    with FederatedSimulation(config) as simulation:
+        return simulation.run()
+
+
+def _attacked_config(method, attack, **overrides):
+    settings = dict(BASE)
+    settings.update(
+        attack=attack, attack_rounds=ATTACK_ROUNDS, attack_seeds=2, attack_iterations=25
+    )
+    settings.update(overrides)
+    return quick_config("cancer", method, **settings)
+
+
+@pytest.fixture(scope="module")
+def catalogue_histories():
+    """Leakage and membership runs for both methods, shared across tests."""
+    histories = {}
+    for method in ("nonprivate", "fed_cdp"):
+        for attack in ("leakage", "membership"):
+            histories[(method, attack)] = _run(_attacked_config(method, attack))
+    return histories
+
+
+# ----------------------------------------------------------------------
+# The acceptance demo: Fed-CDP wins on both leakage axes, every round
+# ----------------------------------------------------------------------
+def test_fed_cdp_beats_nonprivate_on_mse_and_mia_auc_at_every_attacked_round(
+    catalogue_histories,
+):
+    nonprivate_mse = {
+        r.round_index: float(np.mean([a.mse for a in r.attacks]))
+        for r in catalogue_histories[("nonprivate", "leakage")].rounds
+        if r.attacks
+    }
+    fed_cdp_mse = {
+        r.round_index: float(np.mean([a.mse for a in r.attacks]))
+        for r in catalogue_histories[("fed_cdp", "leakage")].rounds
+        if r.attacks
+    }
+    nonprivate_auc = catalogue_histories[("nonprivate", "membership")].mia_auc_by_round
+    fed_cdp_auc = catalogue_histories[("fed_cdp", "membership")].mia_auc_by_round
+    assert (
+        sorted(nonprivate_mse)
+        == sorted(fed_cdp_mse)
+        == sorted(nonprivate_auc)
+        == sorted(fed_cdp_auc)
+        == list(ATTACK_ROUNDS)
+    )
+    for round_index in ATTACK_ROUNDS:
+        # reconstruction: the DP defence makes the recovered example worse
+        assert fed_cdp_mse[round_index] > nonprivate_mse[round_index], (
+            f"round {round_index}: Fed-CDP MSE {fed_cdp_mse[round_index]} should "
+            f"exceed non-private {nonprivate_mse[round_index]}"
+        )
+        # membership: the DP defence pushes the audit towards the coin flip
+        assert abs(fed_cdp_auc[round_index] - 0.5) < abs(
+            nonprivate_auc[round_index] - 0.5
+        ), (
+            f"round {round_index}: Fed-CDP AUC {fed_cdp_auc[round_index]} should sit "
+            f"closer to 0.5 than non-private {nonprivate_auc[round_index]}"
+        )
+
+
+def test_membership_audit_records_land_on_scheduled_rounds(catalogue_histories):
+    history = catalogue_histories[("fed_cdp", "membership")]
+    for round_result in history.rounds:
+        expected = round_result.round_index in ATTACK_ROUNDS
+        assert bool(round_result.mia) == expected
+        assert round_result.attacks == []  # membership never runs reconstruction
+        for record in round_result.mia:
+            assert record.client_id in round_result.participating_clients
+            assert 0.0 <= record.auc <= 1.0
+            assert record.members > 0 and record.nonmembers > 0
+    assert history.attacked_rounds == list(ATTACK_ROUNDS)
+    assert np.isfinite(history.mean_mia_auc)
+
+
+# ----------------------------------------------------------------------
+# Observational adversaries: membership and adaptive never touch training.
+# (Byzantine clients are the deliberate exception — they exist to perturb
+# the aggregate, and their trajectory is locked by the golden fixture.)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("attack", ["membership", "adaptive"])
+def test_new_adversaries_are_observational(attack, catalogue_histories):
+    if attack == "membership":
+        attacked = catalogue_histories[("fed_cdp", "membership")]
+    else:
+        attacked = _run(_attacked_config("fed_cdp", "adaptive"))
+    unattacked = _run(quick_config("cancer", "fed_cdp", **BASE))
+    assert attacked.accuracy_by_round == unattacked.accuracy_by_round
+    assert attacked.epsilon_by_round == unattacked.epsilon_by_round
+    for with_attack, without in zip(attacked.rounds, unattacked.rounds):
+        assert with_attack.selected_clients == without.selected_clients
+        assert with_attack.mean_loss == without.mean_loss
+        assert with_attack.mean_gradient_norm == without.mean_gradient_norm
+
+
+# ----------------------------------------------------------------------
+# The adaptive attacker
+# ----------------------------------------------------------------------
+def test_adaptive_attacker_spends_more_budget_on_sanitised_observations():
+    base_restarts = 2
+    nonprivate = _run(_attacked_config("nonprivate", "adaptive", attack_seeds=base_restarts))
+    fed_cdp = _run(_attacked_config("fed_cdp", "adaptive", attack_seeds=base_restarts))
+    # the non-private observation sits near the reference norm: the budget
+    # stays near base.  Fed-CDP's noised observation is an anomaly in norm,
+    # so every attack earns a strictly larger budget.
+    for np_record, cdp_record in zip(nonprivate.attack_records, fed_cdp.attack_records):
+        assert cdp_record.restarts > np_record.restarts
+        assert cdp_record.restarts > base_restarts
+    # ...and the tuned budget is bounded (max_factor caps the escalation)
+    assert all(r.restarts <= 4 * base_restarts for r in fed_cdp.attack_records)
+
+
+def test_adaptive_and_leakage_consume_independent_domains(catalogue_histories):
+    # same config, different kind: the adaptive records must not replay the
+    # fixed-budget attack's restarts (separate RNG domain, separate budget)
+    leakage = catalogue_histories[("fed_cdp", "leakage")]
+    adaptive = _run(_attacked_config("fed_cdp", "adaptive"))
+    assert [r.client_id for r in adaptive.attack_records] == [
+        r.client_id for r in leakage.attack_records
+    ]
+    assert any(
+        a.mse != b.mse for a, b in zip(adaptive.attack_records, leakage.attack_records)
+    )
+
+
+# ----------------------------------------------------------------------
+# Transport cells: secure aggregation and sparsification
+# ----------------------------------------------------------------------
+def test_secure_aggregation_blinds_the_server_side_reconstruction():
+    plain = _run(_attacked_config("nonprivate", "leakage"))
+    masked = _run(_attacked_config("nonprivate", "leakage", secure_aggregation=True))
+    # training is untouched: the pairwise masks cancel in the fedsgd mean
+    for with_mask, without in zip(masked.rounds, plain.rounds):
+        assert with_mask.mean_loss == pytest.approx(without.mean_loss, abs=1e-9)
+    for round_index, accuracy in plain.accuracy_by_round.items():
+        assert masked.accuracy_by_round[round_index] == pytest.approx(accuracy, abs=1e-6)
+    # but the server-side adversary only sees masked uploads: reconstruction
+    # from them is far worse even against the undefended baseline
+    assert masked.mean_attack_mse > 3.0 * plain.mean_attack_mse
+    assert not any(r.success for r in masked.attack_records)
+
+
+def test_sparsified_uploads_change_the_observation():
+    plain = _run(_attacked_config("nonprivate", "leakage"))
+    pruned = _run(_attacked_config("nonprivate", "leakage", compression_ratio=0.5))
+    # the adversary observes the compressed upload, so the records differ
+    assert any(
+        a.mse != b.mse for a, b in zip(pruned.attack_records, plain.attack_records)
+    )
+    assert all(np.isfinite(r.mse) for r in pruned.attack_records)
+
+
+# ----------------------------------------------------------------------
+# Byzantine clients inside the simulation
+# ----------------------------------------------------------------------
+def test_byzantine_scale_perturbs_the_aggregate_but_not_honest_streams():
+    benign = _run(quick_config("cancer", "nonprivate", **BASE))
+    corrupt = _run(
+        quick_config(
+            "cancer",
+            "nonprivate",
+            **BASE,
+            byzantine_clients=(0, 1, 2, 3, 4, 5),
+            byzantine_mode="scale",
+            byzantine_scale=25.0,
+        )
+    )
+    # same seed, same cohorts: the selection stream is untouched
+    for corrupt_round, benign_round in zip(corrupt.rounds, benign.rounds):
+        assert corrupt_round.selected_clients == benign_round.selected_clients
+    # round 0 trains from the same broadcast weights, so the local losses
+    # coincide; from round 1 the scaled uploads have moved the global model
+    assert corrupt.rounds[0].mean_loss == benign.rounds[0].mean_loss
+    assert any(
+        corrupt_round.mean_loss != benign_round.mean_loss
+        for corrupt_round, benign_round in zip(corrupt.rounds[1:], benign.rounds[1:])
+    )
+    assert corrupt.final_accuracy != benign.final_accuracy
+
+
+def test_sign_flip_all_clients_reverses_learning():
+    benign = _run(quick_config("cancer", "nonprivate", **BASE))
+    flipped = _run(
+        quick_config(
+            "cancer",
+            "nonprivate",
+            **BASE,
+            byzantine_clients=tuple(range(6)),
+            byzantine_mode="sign_flip",
+        )
+    )
+    # every upload negated = gradient ascent: training cannot do better
+    assert flipped.final_accuracy <= benign.final_accuracy
+
+
+def test_label_flip_only_rewrites_byzantine_shards():
+    config = quick_config(
+        "cancer",
+        "nonprivate",
+        **BASE,
+        byzantine_clients=(0,),
+        byzantine_mode="label_flip",
+    )
+    benign_config = quick_config("cancer", "nonprivate", **BASE)
+    with FederatedSimulation(config) as corrupt, FederatedSimulation(benign_config) as honest:
+        flipped = corrupt.clients[0].dataset
+        original = honest.clients[0].dataset
+        assert np.array_equal(flipped.features, original.features)
+        assert np.array_equal(flipped.labels, original.num_classes - 1 - original.labels)
+        for client_id in range(1, 6):
+            assert np.array_equal(
+                corrupt.clients[client_id].dataset.labels,
+                honest.clients[client_id].dataset.labels,
+            )
+
+
+def test_dp_sanitizer_caps_the_byzantine_scale_attack():
+    # Fed-CDP clips every upload, so a scaling attacker is bounded by the
+    # same clipping bound as everyone else — the attack's leverage vanishes
+    benign = _run(quick_config("cancer", "fed_cdp", **BASE))
+    corrupt = _run(
+        quick_config(
+            "cancer",
+            "fed_cdp",
+            **BASE,
+            byzantine_clients=(0, 1, 2, 3, 4, 5),
+            byzantine_mode="scale",
+            byzantine_scale=1000.0,
+        )
+    )
+    # the corrupted run still trains (the model is not destroyed the way the
+    # unclipped nonprivate aggregate would be)
+    assert corrupt.final_accuracy > 0.3
+    assert abs(corrupt.final_accuracy - benign.final_accuracy) < 0.5
