@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Lifetime-epsilon study: who pays for privacy under client churn?
+
+Under churn (``churn_rate``) clients join and leave the fleet on geometric
+lifetimes, so long-lived clients are selected — and release privatised
+updates — far more often than short-lived ones.  A population-level epsilon
+hides that: the per-client RDP ledger (``--accountant heterogeneous``) shows
+the privacy spend concentrating on the long-lived cohort.
+
+This example runs two small Fed-CDP simulations (a churn-free baseline and a
+churned fleet), prints the per-client ledger split by churn lifetime, and
+renders an ASCII chart of epsilon against lifetime.  Runs in ~20 seconds::
+
+    python examples/lifetime_epsilon_study.py
+
+The same split is computed in-loop by ``python -m repro run --churn-rate 0.25
+--accountant heterogeneous`` and recorded on the history as
+``epsilon_by_lifetime``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.experiments.harness import quick_config
+from repro.federated import FederatedSimulation
+
+
+def run_fleet(churn_rate=None):
+    config = quick_config(
+        "cancer",
+        "fed_cdp",
+        rounds=10,
+        eval_every=10,
+        seed=1,
+        num_clients=8,
+        participation_fraction=1.0,
+        client_sampling="fixed",
+        churn_rate=churn_rate,
+        accountant="heterogeneous",
+    )
+    with FederatedSimulation(config) as simulation:
+        history = simulation.run()
+        epsilons = list(simulation.accountant.epsilon_per_client(config.delta))
+        counts = list(simulation.accountant.participation_counts)
+        churn = simulation.availability.churn
+        lifetimes = [churn.lifetime(k) if churn else None for k in range(config.num_clients)]
+    return history, epsilons, counts, lifetimes
+
+
+def ascii_bar(value, scale, width=40):
+    return "#" * max(1, int(round(width * value / scale))) if value > 0 else ""
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Step 1: churn-free baseline — every client spends the same budget")
+    print("=" * 72)
+    _, baseline_epsilons, baseline_counts, _ = run_fleet(churn_rate=None)
+    rows = [
+        [f"client {k}", counts, eps]
+        for k, (counts, eps) in enumerate(zip(baseline_counts, baseline_epsilons))
+    ]
+    print(format_table(rows, ["client", "rounds participated", "epsilon"]))
+    print("Full participation, no churn: the ledger is flat across clients.\n")
+
+    print("=" * 72)
+    print("Step 2: a churned fleet — the spend follows the lifetime")
+    print("=" * 72)
+    history, epsilons, counts, lifetimes = run_fleet(churn_rate=0.25)
+    scale = max(epsilons) or 1.0
+    rows = []
+    for k in sorted(range(len(epsilons)), key=lambda k: lifetimes[k]):
+        rows.append(
+            [f"client {k}", lifetimes[k], counts[k], epsilons[k], ascii_bar(epsilons[k], scale)]
+        )
+    print(
+        format_table(
+            rows,
+            headers=["client", "lifetime (rounds)", "participated", "epsilon", "epsilon chart"],
+            title="per-client ledger under churn_rate=0.25 (sorted by lifetime)",
+        )
+    )
+
+    split = history.epsilon_by_lifetime
+    print(
+        f"\nsplit at the median lifetime ({split['median_lifetime_rounds']:.0f} rounds):\n"
+        f"  short-lived ({split['short_lived_clients']} clients) "
+        f"worst-case epsilon = {split['short_lived_worst_epsilon']:.4f}\n"
+        f"  long-lived  ({split['long_lived_clients']} clients) "
+        f"worst-case epsilon = {split['long_lived_worst_epsilon']:.4f}\n"
+    )
+    print(
+        "Long-lived clients pay strictly more: a deployment that reports one\n"
+        "population-level epsilon under-states the exposure of its stable\n"
+        "core.  The in-loop equivalent is\n"
+        "`python -m repro run --churn-rate 0.25 --accountant heterogeneous`.\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

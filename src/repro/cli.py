@@ -193,6 +193,11 @@ def _config_from_args(args: argparse.Namespace) -> tuple:
         "client_sampling": args.client_sampling,
         "dropout_rate": args.dropout,
         "straggler_deadline": args.straggler_deadline,
+        "availability_cycle": args.availability_cycle,
+        "availability_period": args.availability_period,
+        "churn_rate": args.churn_rate,
+        "device_classes": args.device_classes,
+        "drift_rate": args.drift,
         "accountant": args.accountant,
         "epsilon_budget": args.epsilon_budget,
         "attack": args.attack,
@@ -370,6 +375,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"[repro] heterogeneous accounting: worst-case epsilon="
             f"{history.final_epsilon:.4f} vs equal-shard epsilon={equal_shard:.4f}"
         )
+    if history.epsilon_by_lifetime is not None:
+        split = history.epsilon_by_lifetime
+        print(
+            f"[repro] churn lifetime split (median {split['median_lifetime_rounds']:.1f} "
+            f"rounds): short-lived worst epsilon="
+            f"{split['short_lived_worst_epsilon']:.4f} "
+            f"({split['short_lived_clients']} clients) vs long-lived="
+            f"{split['long_lived_worst_epsilon']:.4f} "
+            f"({split['long_lived_clients']} clients)"
+        )
     if args.output:
         payload = history.to_dict()
         payload["wall_clock_seconds"] = elapsed
@@ -530,6 +545,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--straggler-deadline",
         type=float,
         help="round deadline in simulated time units (lognormal(0,1) client durations)",
+    )
+    run.add_argument(
+        "--availability-cycle",
+        type=float,
+        help="diurnal availability-cycle amplitude in (0, 1]: each client's "
+        "offline probability follows a per-client phase-offset sinusoid over "
+        "round time (see docs/scenarios.md)",
+    )
+    run.add_argument(
+        "--availability-period",
+        type=int,
+        help="period of the diurnal cycle in rounds (default 24)",
+    )
+    run.add_argument(
+        "--churn-rate",
+        type=float,
+        help="client churn rate in (0, 1): each client lives a geometric number "
+        "of rounds with mean 1/rate before leaving the population",
+    )
+    run.add_argument(
+        "--device-classes",
+        nargs="+",
+        type=float,
+        metavar="MULTIPLIER",
+        help="per-client device-class straggler-duration multipliers, e.g. "
+        "'0.5 1 2' for fast/mid/slow hardware (each client draws one class "
+        "for the whole run; pair with --straggler-deadline)",
+    )
+    run.add_argument(
+        "--drift",
+        type=float,
+        help="per-round concept-drift rate in (0, 1]: at round t a fraction "
+        "min(1, rate*t) of every client's shard carries a resampled label",
     )
     run.add_argument(
         "--attack",

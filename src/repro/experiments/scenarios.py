@@ -52,6 +52,10 @@ AVAILABILITY_SCENARIOS: Dict[str, dict] = {
     "dropout(0.3)": {"dropout_rate": 0.3},
     "stragglers": {"straggler_deadline": 2.0},
     "flaky": {"dropout_rate": 0.2, "straggler_deadline": 2.0, "client_sampling": "poisson"},
+    # temporal population dynamics (docs/scenarios.md): a strong 3-round
+    # diurnal cycle, and client churn with a mean lifetime of ~3 rounds
+    "diurnal": {"availability_cycle": 0.9, "availability_period": 3},
+    "churn(0.3)": {"churn_rate": 0.3},
 }
 
 
@@ -115,6 +119,13 @@ class ScenarioCell:
     total_dropped: int
     total_stragglers: int
     skipped_rounds: int
+    #: total churn-dead / cycle-offline exclusions across the cell's run
+    total_offline: int = 0
+    #: worst-case epsilon among the cell's short-lived clients (NaN unless
+    #: the cell combined churn with the heterogeneous accountant)
+    short_lived_epsilon: float = float("nan")
+    #: same for the long-lived clients (above the median churn lifetime)
+    long_lived_epsilon: float = float("nan")
     #: transport scenario between client and aggregator (see
     #: :data:`TRANSPORT_SCENARIOS`)
     transport: str = "plain"
@@ -139,6 +150,13 @@ class ScenarioMatrixResult:
             # the attack columns stay readable when the sweep ran unattacked
             return "-" if isinstance(value, float) and math.isnan(value) else f"{value:.4f}"
 
+        def lifetime(cell: "ScenarioCell") -> str:
+            # "short/long" worst-case epsilon, filled only by churn cells
+            # running the heterogeneous accountant
+            if math.isnan(cell.short_lived_epsilon) or math.isnan(cell.long_lived_epsilon):
+                return "-"
+            return f"{cell.short_lived_epsilon:.2f}/{cell.long_lived_epsilon:.2f}"
+
         rows = [
             [
                 cell.partition,
@@ -148,9 +166,11 @@ class ScenarioMatrixResult:
                 cell.final_accuracy,
                 cell.final_epsilon,
                 cell.equal_shard_epsilon,
+                lifetime(cell),
                 cell.mean_participants,
                 cell.total_dropped,
                 cell.total_stragglers,
+                cell.total_offline,
                 cell.skipped_rounds,
                 optional(cell.attack_mse),
                 optional(cell.attack_success),
@@ -168,9 +188,11 @@ class ScenarioMatrixResult:
                 "accuracy",
                 "eps(worst-case)",
                 "eps(equal-shard)",
+                "lifetime-eps",
                 "participants/round",
                 "dropped",
                 "stragglers",
+                "offline",
                 "skipped",
                 "attack-mse",
                 "attack-success",
@@ -246,6 +268,7 @@ def run_scenario_matrix(
                         else:
                             equal_shard = history.final_epsilon
                     participation = history.participation_series
+                    lifetime_split = history.epsilon_by_lifetime or {}
                     cell = ScenarioCell(
                         partition=partition_name,
                         availability=availability_name,
@@ -261,6 +284,13 @@ def run_scenario_matrix(
                         total_dropped=history.total_dropped,
                         total_stragglers=history.total_stragglers,
                         skipped_rounds=history.skipped_rounds,
+                        total_offline=history.total_offline,
+                        short_lived_epsilon=lifetime_split.get(
+                            "short_lived_worst_epsilon", float("nan")
+                        ),
+                        long_lived_epsilon=lifetime_split.get(
+                            "long_lived_worst_epsilon", float("nan")
+                        ),
                         attack_mse=history.mean_attack_mse,
                         attack_success=history.attack_success_rate,
                         mia_auc=history.mean_mia_auc,

@@ -1,7 +1,13 @@
 """Federated-learning simulation framework."""
 
 from .aggregation import average_weight_lists, fedavg_aggregate, fedsgd_aggregate
-from .availability import AvailabilityDraw, AvailabilityModel
+from .availability import (
+    AvailabilityDraw,
+    AvailabilityModel,
+    ChurnSchedule,
+    DiurnalCycle,
+    DriftModel,
+)
 from .byzantine import BYZANTINE_MODES, ByzantineBehaviour
 from .client import FederatedClient
 from .compression import compression_savings, prune_update
@@ -30,6 +36,9 @@ __all__ = [
     "CLIENT_SAMPLING_SCHEMES",
     "AvailabilityModel",
     "AvailabilityDraw",
+    "ChurnSchedule",
+    "DiurnalCycle",
+    "DriftModel",
     "ClientExecutor",
     "SerialClientExecutor",
     "MultiprocessingClientExecutor",

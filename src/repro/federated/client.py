@@ -26,17 +26,28 @@ __all__ = ["FederatedClient", "LazyClientRoster"]
 class FederatedClient:
     """One participant of the federated learning task."""
 
-    def __init__(self, client_id: int, dataset: Dataset, trainer) -> None:
+    def __init__(self, client_id: int, dataset: Dataset, trainer, drift=None) -> None:
         if len(dataset) == 0:
             raise ValueError(f"client {client_id} has an empty data shard")
         self.client_id = int(client_id)
         self.dataset = dataset
         self.trainer = trainer
+        #: optional :class:`~repro.federated.availability.DriftModel`: when
+        #: set, local training at round ``t`` sees the drifted shard while
+        #: ``self.dataset`` keeps the true labels (the adversary's ground
+        #: truth for attacks and membership audits)
+        self.drift = drift
 
     @property
     def num_examples(self) -> int:
         """Size of the client's private shard (``N_i``)."""
         return len(self.dataset)
+
+    def dataset_for_round(self, round_index: int) -> Dataset:
+        """The shard local training sees at ``round_index`` (drift applied)."""
+        if self.drift is None:
+            return self.dataset
+        return self.drift.apply(self.client_id, self.dataset, round_index)
 
     def local_update(
         self,
@@ -53,7 +64,11 @@ class FederatedClient:
         """
         rng = rng if rng is not None else np.random.default_rng()
         return self.trainer.train_client(
-            self.dataset, global_weights, round_index, rng, primed_first_batch=primed_first_batch
+            self.dataset_for_round(round_index),
+            global_weights,
+            round_index,
+            rng,
+            primed_first_batch=primed_first_batch,
         )
 
     def sample_examples(
@@ -86,10 +101,11 @@ class LazyClientRoster(Sequence):
     lazy and eager byzantine runs stay bit-identical.
     """
 
-    def __init__(self, population, trainer, shard_transform=None) -> None:
+    def __init__(self, population, trainer, shard_transform=None, drift=None) -> None:
         self.population = population
         self.trainer = trainer
         self.shard_transform = shard_transform
+        self.drift = drift
 
     def __len__(self) -> int:
         return len(self.population)
@@ -103,7 +119,7 @@ class LazyClientRoster(Sequence):
         shard = self.population[index]
         if self.shard_transform is not None:
             shard = self.shard_transform(index, shard)
-        return FederatedClient(index, shard, self.trainer)
+        return FederatedClient(index, shard, self.trainer, drift=self.drift)
 
     def materialize(self) -> List[FederatedClient]:
         """All clients as an eager list (paper-scale convenience)."""

@@ -156,6 +156,25 @@ class FederatedConfig:
     #: lognormal(0, 1) simulated duration (median 1.0) exceeds it is excluded
     #: as a straggler (``None`` disables straggler exclusion)
     straggler_deadline: Optional[float] = None
+    #: amplitude in (0, 1] of the diurnal availability cycle: each client's
+    #: offline probability follows a per-client phase-offset sinusoid over
+    #: round time (``None`` disables; see docs/scenarios.md)
+    availability_cycle: Optional[float] = None
+    #: period of the diurnal cycle in rounds ("hours per day")
+    availability_period: int = 24
+    #: client churn rate in (0, 1): each client lives for a geometric number
+    #: of rounds with mean ``1 / churn_rate`` before leaving the population
+    #: (``None`` disables churn)
+    churn_rate: Optional[float] = None
+    #: per-client device-class straggler-duration multipliers, e.g.
+    #: ``(0.5, 1.0, 2.0)`` for fast/mid/slow hardware — each client draws one
+    #: class for the whole run (``None`` disables; only meaningful together
+    #: with ``straggler_deadline``)
+    device_classes: Optional[Tuple[float, ...]] = None
+    #: per-round concept-drift rate in (0, 1]: at round ``t`` a fraction
+    #: ``min(1, drift_rate * t)`` of every client's shard carries a resampled
+    #: label (``None`` disables drift)
+    drift_rate: Optional[float] = None
 
     # ----- differential privacy ----------------------------------------
     #: clipping bound ``C`` (paper default 4)
@@ -285,6 +304,22 @@ class FederatedConfig:
             raise ValueError("dropout_rate must lie in [0, 1]")
         if self.straggler_deadline is not None and self.straggler_deadline <= 0:
             raise ValueError("straggler_deadline must be positive (or None to disable)")
+        if self.availability_cycle is not None and not 0.0 < self.availability_cycle <= 1.0:
+            raise ValueError("availability_cycle must lie in (0, 1] (or None to disable)")
+        if self.availability_period < 1:
+            raise ValueError("availability_period must be a positive number of rounds")
+        if self.churn_rate is not None and not 0.0 < self.churn_rate < 1.0:
+            raise ValueError("churn_rate must lie in (0, 1) (or None to disable)")
+        if self.device_classes is not None:
+            classes = tuple(float(m) for m in self.device_classes)
+            if not classes or any(m <= 0 for m in classes):
+                raise ValueError(
+                    "device_classes must be a non-empty list of positive multipliers "
+                    "(or None to disable)"
+                )
+            self.device_classes = classes
+        if self.drift_rate is not None and not 0.0 < self.drift_rate <= 1.0:
+            raise ValueError("drift_rate must lie in (0, 1] (or None to disable)")
         if self.accountant not in ACCOUNTANT_NAMES:
             raise ValueError(
                 f"unknown accountant {self.accountant!r}; expected one of {ACCOUNTANT_NAMES}"
@@ -471,6 +506,18 @@ class FederatedConfig:
         ):
             if payload[threat_field] == default:
                 del payload[threat_field]
+        # population-dynamics fields (diurnal cycle, churn, device classes,
+        # drift) — absent at defaults, so every pre-dynamics checkpoint and
+        # golden fixture keeps its byte-exact payload
+        for dynamics_field, default in (
+            ("availability_cycle", None),
+            ("availability_period", 24),
+            ("churn_rate", None),
+            ("device_classes", None),
+            ("drift_rate", None),
+        ):
+            if payload[dynamics_field] == default:
+                del payload[dynamics_field]
         return payload
 
     @classmethod
@@ -482,7 +529,12 @@ class FederatedConfig:
             raise ValueError(f"unknown FederatedConfig fields: {sorted(unknown)}")
         if "decay_clipping" in data and data["decay_clipping"] is not None:
             data["decay_clipping"] = tuple(data["decay_clipping"])
-        for tuple_field in ("attack_rounds", "attack_clients", "byzantine_clients"):
+        for tuple_field in (
+            "attack_rounds",
+            "attack_clients",
+            "byzantine_clients",
+            "device_classes",
+        ):
             value = data.get(tuple_field)
             if value is not None and not isinstance(value, str):
                 data[tuple_field] = tuple(value)

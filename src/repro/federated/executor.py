@@ -206,6 +206,7 @@ def _worker_initializer(config: FederatedConfig, data_payload: Optional[tuple]) 
     from repro.data.synthetic import generate_train_val
     from repro.nn import build_model_for_dataset
 
+    from .availability import DriftModel
     from .byzantine import ByzantineBehaviour
 
     model = build_model_for_dataset(config.spec, seed=config.seed, scale=config.model_scale)
@@ -234,6 +235,10 @@ def _worker_initializer(config: FederatedConfig, data_payload: Optional[tuple]) 
     # trains on; workers rebuild the behaviour from the config like
     # everything else, so worker-side shards match the parent's exactly
     _WORKER_STATE["byzantine"] = ByzantineBehaviour.from_config(config)
+    # concept drift is a pure function of (seed, client, round, shard), so
+    # workers rebuild it from the config and apply it per round — the shard
+    # cache below keeps holding the *undrifted* shard
+    _WORKER_STATE["drift"] = DriftModel.from_config(config)
 
 
 def _worker_run_chunk(task: tuple) -> List:
@@ -243,6 +248,7 @@ def _worker_run_chunk(task: tuple) -> List:
     population = _WORKER_STATE["population"]
     cache = _WORKER_STATE["shard_cache"]
     byzantine = _WORKER_STATE["byzantine"]
+    drift = _WORKER_STATE["drift"]
     results = []
     for client_index, seed_sequence in jobs:
         dataset = cache.get(client_index)
@@ -252,6 +258,8 @@ def _worker_run_chunk(task: tuple) -> List:
                 dataset = byzantine.transform_shard(client_index, dataset)
             if len(cache) < _WORKER_SHARD_CACHE_LIMIT:
                 cache[client_index] = dataset
+        if drift is not None:
+            dataset = drift.apply(client_index, dataset, round_index)
         rng = np.random.default_rng(seed_sequence)
         results.append(trainer.train_client(dataset, global_weights, round_index, rng))
     return results
@@ -410,9 +418,12 @@ class BatchFusedClientExecutor(ClientExecutor):
             job = {"client": client, "rng": rng, "primed": None, "prep": None}
             trainer = client.trainer
             if trainer.supports_batch_fusion():
+                # the fused first step must consume the same (possibly
+                # drifted) shard the trainer will train on
+                dataset = client.dataset_for_round(round_index)
                 batch_size = trainer.config.effective_batch_size
-                iterations = trainer._local_iterations(client.dataset)
-                batch_iter = client.dataset.batches(
+                iterations = trainer._local_iterations(dataset)
+                batch_iter = dataset.batches(
                     batch_size, rng=rng, num_batches=iterations, with_replacement=True
                 )
                 first = next(batch_iter, None)

@@ -38,29 +38,81 @@ from .server import AttackRecord, MIARecord, RoundResult
 __all__ = ["RoundSpool", "round_result_to_payload", "round_result_from_payload"]
 
 
+#: float fields of an :class:`AttackRecord` that can legitimately go
+#: non-finite (a diverging reconstruction) and must never leak bare
+#: ``Infinity``/``NaN`` tokens into the emitted JSON
+_ATTACK_FLOAT_FIELDS = ("mse", "psnr", "final_loss")
+
+#: same for :class:`MIARecord` (member/non-member loss means of a diverging
+#: run, and the degenerate-separation AUC family)
+_MIA_FLOAT_FIELDS = ("auc", "advantage", "accuracy", "mean_member_loss", "mean_nonmember_loss")
+
+#: the token strings the non-finite floats round-trip through (``null`` could
+#: not distinguish ``NaN`` from the two infinities)
+_NONFINITE_TOKENS = {
+    "Infinity": float("inf"),
+    "-Infinity": float("-inf"),
+    "NaN": float("nan"),
+}
+
+
+def _encode_float(value):
+    """A float as a strict-JSON value (non-finite → its token string)."""
+    if isinstance(value, float) and not np.isfinite(value):
+        if np.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _decode_float(value):
+    """Inverse of :func:`_encode_float`."""
+    if isinstance(value, str) and value in _NONFINITE_TOKENS:
+        return _NONFINITE_TOKENS[value]
+    return value
+
+
 def round_result_to_payload(result: RoundResult) -> dict:
     """One round as a strict-JSON-serialisable dictionary.
 
-    ``NaN`` metrics (the loss of a skipped round) are encoded as ``null`` so
-    the payload stays valid RFC-8259 JSON for strict consumers; the
-    ``attacks`` and ``mia`` keys are omitted when the respective adversary
-    did not run (mirroring the config convention), keeping unattacked
-    payloads byte-identical to their pre-attack-era form.
+    ``NaN`` metrics (the loss of a skipped round) are encoded as ``null``
+    and an infinite attack PSNR (a bit-perfect reconstruction) as ``null``
+    too — the historical conventions every committed fixture and old spool
+    depends on.  Any *other* non-finite float (a diverging attack's MSE, a
+    blown-up MIA loss mean) is encoded as its token string (``"Infinity"`` /
+    ``"-Infinity"`` / ``"NaN"``) so the payload stays valid RFC-8259 JSON
+    for strict consumers instead of leaking bare ``Infinity`` tokens; the
+    ``attacks``, ``mia`` and ``offline_clients`` keys are omitted when empty
+    (mirroring the config convention), keeping payloads from before each
+    feature byte-identical to their historical form.
     """
     payload = asdict(result)
     mean_loss = payload["mean_loss"]
     if isinstance(mean_loss, float) and np.isnan(mean_loss):
         payload["mean_loss"] = None
+    else:
+        payload["mean_loss"] = _encode_float(mean_loss)
+    payload["mean_gradient_norm"] = _encode_float(payload["mean_gradient_norm"])
+    payload["mean_time_per_iteration_ms"] = _encode_float(payload["mean_time_per_iteration_ms"])
+    payload["metadata"] = {k: _encode_float(v) for k, v in payload["metadata"].items()}
     if payload["attacks"]:
         for attack in payload["attacks"]:
             # a bit-perfect reconstruction has infinite PSNR, which strict
-            # RFC-8259 JSON cannot carry
-            if not np.isfinite(attack["psnr"]):
+            # RFC-8259 JSON cannot carry — kept as null (the historical form)
+            if attack["psnr"] == float("inf"):
                 attack["psnr"] = None
+            for name in _ATTACK_FLOAT_FIELDS:
+                attack[name] = _encode_float(attack[name])
     else:
         del payload["attacks"]
-    if not payload["mia"]:
+    if payload["mia"]:
+        for record in payload["mia"]:
+            for name in _MIA_FLOAT_FIELDS:
+                record[name] = _encode_float(record[name])
+    else:
         del payload["mia"]
+    if not payload["offline_clients"]:
+        del payload["offline_clients"]
     return payload
 
 
@@ -70,16 +122,30 @@ def round_result_from_payload(entry: dict) -> RoundResult:
     # payloads written before the availability layer existed carry no
     # participation bookkeeping; back then every selected client participated
     entry.setdefault("participating_clients", list(entry["selected_clients"]))
+    entry.setdefault("offline_clients", [])
     if entry["mean_loss"] is None:  # skipped round, serialised as null
         entry["mean_loss"] = float("nan")
+    else:
+        entry["mean_loss"] = _decode_float(entry["mean_loss"])
+    entry["mean_gradient_norm"] = _decode_float(entry["mean_gradient_norm"])
+    entry["mean_time_per_iteration_ms"] = _decode_float(entry["mean_time_per_iteration_ms"])
+    entry["metadata"] = {k: _decode_float(v) for k, v in entry.get("metadata", {}).items()}
     attacks = []
     for attack in entry.get("attacks", []):
         attack = dict(attack)
         if attack["psnr"] is None:  # infinite PSNR, serialised as null
             attack["psnr"] = float("inf")
+        for name in _ATTACK_FLOAT_FIELDS:
+            attack[name] = _decode_float(attack[name])
         attacks.append(AttackRecord(**attack))
     entry["attacks"] = attacks
-    entry["mia"] = [MIARecord(**record) for record in entry.get("mia", [])]
+    mia = []
+    for record in entry.get("mia", []):
+        record = dict(record)
+        for name in _MIA_FLOAT_FIELDS:
+            record[name] = _decode_float(record[name])
+        mia.append(MIARecord(**record))
+    entry["mia"] = mia
     return RoundResult(**entry)
 
 

@@ -8,6 +8,21 @@ paper's accounting assumes random sampling; two schemes are provided:
 * :func:`sample_clients_poisson` — include every client independently with
   probability ``q`` (the idealised Poisson sampling assumed by the moments
   accountant; used in ablations).
+
+Churn and the live set
+----------------------
+Under client churn (``churn_rate``, see
+:class:`~repro.federated.availability.ChurnSchedule`) the *live* population
+at round ``t`` is a subset of the ``K`` registered ids, and the simulation
+still samples over all ``K`` — identical RNG consumption to a churn-free
+run — then marks dead selected clients ``offline``.  For Poisson sampling
+this is not an approximation: including each client with probability ``q``
+and then independently discarding the dead ones is, by the thinning
+property, *exactly* Poisson sampling with probability ``q`` over the live
+set (dead clients are discarded with probability 1, live ones kept).  The
+filter touches only the drawn cohort, so the O(cohort) cross-device cost
+model carries over unchanged — no per-round sweep over ``K`` to find the
+living.
 """
 
 from __future__ import annotations

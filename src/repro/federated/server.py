@@ -104,6 +104,9 @@ class RoundResult:
     dropped_clients: List[int] = field(default_factory=list)
     #: selected clients excluded for missing the round deadline
     straggler_clients: List[int] = field(default_factory=list)
+    #: selected clients excluded by the temporal population dynamics
+    #: (churn-dead or diurnal-cycle offline — see docs/scenarios.md)
+    offline_clients: List[int] = field(default_factory=list)
     #: in-loop adversary outcomes for this round (empty when the round was
     #: not attacked or no attack schedule is configured)
     attacks: List[AttackRecord] = field(default_factory=list)
@@ -234,7 +237,8 @@ class FederatedServer:
 
         ``availability`` (an :class:`~repro.federated.availability.
         AvailabilityModel`) thins the selected cohort into participating /
-        dropped / straggling clients before any local training runs.  On the
+        dropped / straggling / offline clients before any local training runs
+        (offline = excluded by churn or the diurnal cycle).  On the
         executor path a participating client keeps the pre-spawned RNG stream
         of its original selection slot, so enabling dropout does not perturb
         the surviving clients' training randomness; on the inline
@@ -272,6 +276,7 @@ class FederatedServer:
                 participating_clients=[],
                 dropped_clients=list(draw.dropped),
                 straggler_clients=list(draw.stragglers),
+                offline_clients=list(draw.offline),
             )
             if self.keep_round_results:
                 self.round_results.append(outcome)
@@ -351,6 +356,7 @@ class FederatedServer:
             participating_clients=list(participants),
             dropped_clients=list(draw.dropped),
             straggler_clients=list(draw.stragglers),
+            offline_clients=list(draw.offline),
         )
         if self.keep_round_results:
             self.round_results.append(outcome)

@@ -37,7 +37,7 @@ from repro.data.synthetic import generate_train_val
 from repro.nn import build_model_for_dataset, evaluate_accuracy
 from repro.privacy.ledger import AccountingContext, make_accountant
 
-from .availability import AvailabilityModel
+from .availability import AvailabilityModel, DriftModel
 from .byzantine import ByzantineBehaviour
 from .client import FederatedClient, LazyClientRoster
 from .config import PRIVATE_METHODS, FederatedConfig
@@ -71,6 +71,11 @@ class SimulationHistory:
     #: round the epsilon budget stopped the run *before* (``None`` when no
     #: budget was configured or the horizon was reached first)
     budget_stop_round: Optional[int] = None
+    #: worst-case per-client epsilon split by churn lifetime — short-lived vs
+    #: long-lived clients relative to the median lifetime (``None`` unless
+    #: the run combined ``churn_rate`` with the ``heterogeneous`` accountant;
+    #: computed once at the end of :meth:`FederatedSimulation.run`)
+    epsilon_by_lifetime: Optional[Dict[str, float]] = None
 
     @property
     def final_accuracy(self) -> float:
@@ -114,6 +119,11 @@ class SimulationHistory:
     def total_stragglers(self) -> int:
         """Total deadline-missing client exclusions across the run."""
         return sum(len(r.straggler_clients) for r in self.rounds)
+
+    @property
+    def total_offline(self) -> int:
+        """Total churn-dead / cycle-offline client exclusions across the run."""
+        return sum(len(r.offline_clients) for r in self.rounds)
 
     @property
     def skipped_rounds(self) -> int:
@@ -200,6 +210,9 @@ class SimulationHistory:
         # omitted unless set, keeping pre-budget payloads byte-identical
         if self.budget_stop_round is not None:
             payload["budget_stop_round"] = self.budget_stop_round
+        # same convention: only churn + heterogeneous-accountant runs carry it
+        if self.epsilon_by_lifetime is not None:
+            payload["epsilon_by_lifetime"] = self.epsilon_by_lifetime
         return payload
 
     @classmethod
@@ -213,6 +226,7 @@ class SimulationHistory:
             epsilon_by_round={int(k): float(v) for k, v in payload["epsilon_by_round"].items()},
             rounds=rounds,
             budget_stop_round=payload.get("budget_stop_round"),
+            epsilon_by_lifetime=payload.get("epsilon_by_lifetime"),
         )
 
 
@@ -280,6 +294,10 @@ class FederatedSimulation:
         # their uploads inside the server's collection loop
         self.byzantine = ByzantineBehaviour.from_config(config)
         shard_transform = self.byzantine.transform_shard if self.byzantine is not None else None
+        # concept drift (if any) is applied per round by the clients
+        # themselves; ``self.shards`` and attack ground truth keep the
+        # undrifted labels
+        self.drift = DriftModel.from_config(config)
         if config.resolved_client_state == "eager":
             self.shards = self.population.materialize()
             self.clients = [
@@ -287,6 +305,7 @@ class FederatedSimulation:
                     client_id,
                     shard if shard_transform is None else shard_transform(client_id, shard),
                     self.trainer,
+                    drift=self.drift,
                 )
                 for client_id, shard in enumerate(self.shards)
             ]
@@ -295,7 +314,10 @@ class FederatedSimulation:
             # round's sampled cohort is indexed
             self.shards = None
             self.clients = LazyClientRoster(
-                self.population, self.trainer, shard_transform=shard_transform
+                self.population,
+                self.trainer,
+                shard_transform=shard_transform,
+                drift=self.drift,
             )
         self.executor = make_executor(
             config,
@@ -374,6 +396,10 @@ class FederatedSimulation:
             raise ValueError("checkpoint_every must be positive")
         total_rounds = rounds if rounds is not None else self.config.rounds
         history = self.history
+        # recomputed at the end of every run() call from accountant state, so
+        # a mid-run checkpoint never carries a stale split and resumed runs
+        # reach the identical final value
+        history.epsilon_by_lifetime = None
         is_private = self.config.method in PRIVATE_METHODS
         poisson = self.config.client_sampling == "poisson"
         budget = self.config.epsilon_budget if is_private else None
@@ -477,7 +503,40 @@ class FederatedSimulation:
                 )
             if checkpoint_path is not None:
                 self.save_checkpoint(checkpoint_path)
+        self._record_lifetime_epsilons(history)
         return history
+
+    def _record_lifetime_epsilons(self, history: SimulationHistory) -> None:
+        """Split the worst-case per-client epsilon by churn lifetime.
+
+        Only meaningful when the run combined ``churn_rate`` with a
+        per-client accountant (``heterogeneous``): clients that ever
+        participated are split at the median churn lifetime, and the
+        worst-case epsilon of each group is recorded — the chart behind
+        ``examples/lifetime_epsilon_study.py`` (long-lived clients are
+        charged more rounds, so their worst case dominates).
+        """
+        churn = self.availability.churn
+        if churn is None or not hasattr(self.accountant, "epsilon_per_client"):
+            return
+        counts = np.asarray(self.accountant.participation_counts)
+        participants = np.nonzero(counts > 0)[0]
+        if len(participants) < 2:
+            return
+        lifetimes = np.array([churn.lifetime(int(c)) for c in participants], dtype=np.float64)
+        median = float(np.median(lifetimes))
+        short = participants[lifetimes <= median]
+        long_lived = participants[lifetimes > median]
+        if len(short) == 0 or len(long_lived) == 0:
+            return
+        epsilons = np.asarray(self.accountant.epsilon_per_client(self.config.delta))
+        history.epsilon_by_lifetime = {
+            "median_lifetime_rounds": median,
+            "short_lived_clients": int(len(short)),
+            "long_lived_clients": int(len(long_lived)),
+            "short_lived_worst_epsilon": float(np.max(epsilons[short])),
+            "long_lived_worst_epsilon": float(np.max(epsilons[long_lived])),
+        }
 
     def _round_would_exceed_budget(self, round_index: int, budget: float) -> bool:
         """Would charging one more (fully participating) round exceed the budget?"""
@@ -542,18 +601,27 @@ class FederatedSimulation:
                 "(only executor/num_workers/client_state/worker_chunk_size may "
                 "differ, and rounds may only grow)"
             )
+        # parse the history *before* touching any live state (weights, RNG,
+        # spool): a malformed checkpoint must leave this simulation — and any
+        # spool file already on disk — exactly as they were
+        restored = SimulationHistory.from_dict(state["history"], config=self.config)
         self.server.global_weights = [
             np.array(w, dtype=np.float64) for w in state["global_weights"]
         ]
         self.rng.bit_generator.state = state["rng_state"]
         self.accountant.load_state_dict(state["accountant"])
-        self.history = SimulationHistory.from_dict(state["history"], config=self.config)
         if self._history_spool is not None:
             # re-spool the restored rounds so the resumed run appends to a
-            # fresh spool file and keeps only the tail window in RAM
+            # fresh spool file and keeps only the tail window in RAM; any
+            # spool the constructor already opened on this path must be
+            # closed first — two live write handles on one file would
+            # truncate each other's output
+            if isinstance(self.history.rounds, RoundSpool):
+                self.history.rounds.close()
             spool = RoundSpool(self._history_spool, tail_window=self._history_tail)
-            spool.extend(self.history.rounds)
-            self.history.rounds = spool
+            spool.extend(restored.rounds)
+            restored.rounds = spool
+        self.history = restored
         self._completed_rounds = int(state["completed_rounds"])
 
     def save_checkpoint(self, path: str) -> None:
@@ -620,7 +688,15 @@ class FederatedSimulation:
             overrides["rounds"] = rounds
         if overrides:
             config = config.with_overrides(**overrides)
-        simulation = cls(config, history_spool=history_spool, history_tail=history_tail)
+        # construct WITHOUT the spool: the constructor's RoundSpool truncates
+        # its path on open, which would destroy an existing spool before the
+        # restore is known to succeed (and leave two write handles on the
+        # same file); load_state_dict opens the spool itself, last
+        simulation = cls(config, history_tail=history_tail)
+        if history_spool is not None:
+            simulation._history_spool = history_spool
+            # spool mode: the server must not mirror rounds in RAM
+            simulation.server.keep_round_results = False
         simulation.load_state_dict(state)
         return simulation
 

@@ -201,6 +201,54 @@ def test_run_with_scenario_flags(tmp_path):
         ) == sorted(r["selected_clients"])
 
 
+def test_run_with_population_dynamics_flags(tmp_path, capsys):
+    assert main(
+        [
+            "run",
+            "--profile", "quick",
+            "--dataset", "cancer",
+            "--method", "fed_cdp",
+            "--seed", "1",
+            "--clients", "8",
+            "--participation", "1.0",
+            "--rounds", "10",
+            "--eval-every", "10",
+            "--churn-rate", "0.25",
+            "--availability-cycle", "0.5",
+            "--availability-period", "3",
+            "--device-classes", "0.5", "1", "2",
+            "--straggler-deadline", "2.0",
+            "--drift", "0.2",
+            "--accountant", "heterogeneous",
+            "--output", str(tmp_path / "history.json"),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "churn lifetime split" in out
+    payload = json.loads((tmp_path / "history.json").read_text())
+    assert payload["config"]["churn_rate"] == 0.25
+    assert payload["config"]["availability_cycle"] == 0.5
+    assert payload["config"]["availability_period"] == 3
+    assert payload["config"]["device_classes"] == [0.5, 1, 2]
+    assert payload["config"]["drift_rate"] == 0.2
+    assert sum(len(r.get("offline_clients", [])) for r in payload["rounds"]) > 0
+    split = payload["epsilon_by_lifetime"]
+    assert split["short_lived_clients"] >= 1 and split["long_lived_clients"] >= 1
+
+
+def test_dynamics_fields_omitted_from_serialized_config_at_defaults(tmp_path):
+    assert main(_run_args(tmp_path, "--rounds", "1")) == 0
+    payload = json.loads((tmp_path / "history.json").read_text())
+    for key in (
+        "availability_cycle",
+        "availability_period",
+        "churn_rate",
+        "device_classes",
+        "drift_rate",
+    ):
+        assert key not in payload["config"]
+
+
 def test_run_with_scenario_config_file(tmp_path):
     config_path = tmp_path / "scenario.json"
     config_path.write_text(

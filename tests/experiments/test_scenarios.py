@@ -193,10 +193,34 @@ def test_unknown_scenario_names_are_rejected():
         run_scenario_matrix(partitions=["martian"], dataset="cancer")
 
 
+def test_dynamics_availability_cells_record_offline_and_lifetime_columns():
+    result = run_scenario_matrix(
+        methods=("fed_cdp",),
+        partitions=["iid"],
+        availabilities=["diurnal", "churn(0.3)"],
+        dataset="cancer",
+        profile="quick",
+        seed=3,
+        rounds=3,
+        eval_every=3,
+    )
+    by_availability = {cell.availability: cell for cell in result.cells}
+    assert by_availability["diurnal"].total_offline > 0
+    assert by_availability["churn(0.3)"].total_offline > 0
+    # the diurnal cell has no churn, so its lifetime split stays unreported
+    assert math.isnan(by_availability["diurnal"].short_lived_epsilon)
+    rendered = result.formatted()
+    assert "lifetime-eps" in rendered
+    assert "offline" in rendered
+    assert "churn(0.3)" in rendered
+
+
 def test_default_scenario_registries_are_wired():
     # every registered scenario must produce a valid config override set
     assert set(PARTITION_SCENARIOS["dirichlet(0.1)"]) == {"partition", "dirichlet_alpha"}
     assert "dropout_rate" in AVAILABILITY_SCENARIOS["dropout(0.3)"]
+    assert "availability_cycle" in AVAILABILITY_SCENARIOS["diurnal"]
+    assert "churn_rate" in AVAILABILITY_SCENARIOS["churn(0.3)"]
     assert AVAILABILITY_SCENARIOS["reliable"] == {}
     assert TRANSPORT_SCENARIOS["plain"] == {}
     assert TRANSPORT_SCENARIOS["secure-agg"] == {"secure_aggregation": True}

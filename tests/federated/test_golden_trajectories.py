@@ -101,6 +101,21 @@ def golden_configs() -> Dict[str, FederatedConfig]:
         attack_seeds=2,
         attack_iterations=10,
     )
+    # population-dynamics cell: diurnal availability, churn, device classes
+    # and label drift all active at once, on top of dropout-free straggler
+    # detection — locks the temporal availability engine's trajectory
+    configs["fed_cdp_iid_dynamics"] = quick_config(
+        "cancer",
+        "fed_cdp",
+        partition="iid",
+        availability_cycle=0.5,
+        availability_period=3,
+        churn_rate=0.3,
+        straggler_deadline=2.0,
+        device_classes=(0.5, 1.0, 2.0),
+        drift_rate=0.2,
+        **base,
+    )
     return configs
 
 
@@ -122,6 +137,10 @@ def trajectory_payload(history) -> dict:
             "mean_loss": _round_trip_float(r.mean_loss),
             "mean_gradient_norm": float(r.mean_gradient_norm),
         }
+        if r.offline_clients:
+            # the key is omitted when no client was offline, keeping every
+            # pre-dynamics fixture byte-identical
+            entry["offline_clients"] = list(r.offline_clients)
         if r.attacks:
             # the key is omitted on unattacked rounds, keeping every
             # pre-existing fixture byte-identical
@@ -296,3 +315,23 @@ def test_flaky_fixture_exercises_availability():
     dropped = sum(len(r["dropped_clients"]) for r in payload["rounds"])
     stragglers = sum(len(r["straggler_clients"]) for r in payload["rounds"])
     assert dropped + stragglers > 0
+
+
+def test_dynamics_fixture_exercises_population_dynamics():
+    """The dynamics cell must contain genuine churn/diurnal offline events and
+    every selected client must be accounted for exactly once per round."""
+    with open(os.path.join(GOLDEN_DIR, "fed_cdp_iid_dynamics.json")) as handle:
+        payload = json.load(handle)
+    assert payload["config"]["availability_cycle"] == 0.5
+    assert payload["config"]["churn_rate"] == 0.3
+    assert payload["config"]["drift_rate"] == 0.2
+    offline = sum(len(r.get("offline_clients", [])) for r in payload["rounds"])
+    assert offline > 0
+    for entry in payload["rounds"]:
+        accounted = (
+            entry["participating_clients"]
+            + entry["dropped_clients"]
+            + entry["straggler_clients"]
+            + entry.get("offline_clients", [])
+        )
+        assert sorted(accounted) == sorted(entry["selected_clients"])

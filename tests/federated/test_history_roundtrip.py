@@ -1,0 +1,180 @@
+"""Property-based round-trip tests for the round-payload serialisation.
+
+The spool, the checkpoints and ``--output`` files all go through
+:func:`repro.federated.history.round_result_to_payload` /
+:func:`round_result_from_payload`.  These properties pin the strict-JSON
+contract: *whatever* float values a round carries — including ``NaN`` and
+the two infinities from diverging attacks — the emitted payload must be
+valid RFC-8259 JSON (no bare ``NaN``/``Infinity`` tokens, enforced via
+``json.dumps(..., allow_nan=False)`` and a ``parse_constant`` that refuses
+the tokens on re-read) and must round-trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated import AttackRecord, MIARecord, RoundResult
+from repro.federated.history import round_result_from_payload, round_result_to_payload
+
+#: every float field may legitimately go non-finite (diverging attacks,
+#: blown-up losses) — the serialisation must cope with all of them
+any_float = st.floats(allow_nan=True, allow_infinity=True)
+
+client_lists = st.lists(st.integers(min_value=0, max_value=10_000), max_size=6)
+
+attack_records = st.builds(
+    AttackRecord,
+    client_id=st.integers(min_value=0, max_value=10_000),
+    mse=any_float,
+    psnr=any_float,
+    success=st.booleans(),
+    iterations=st.integers(min_value=0, max_value=10_000),
+    final_loss=any_float,
+    best_restart=st.integers(min_value=0, max_value=16),
+    restarts=st.integers(min_value=1, max_value=16),
+)
+
+mia_records = st.builds(
+    MIARecord,
+    client_id=st.integers(min_value=0, max_value=10_000),
+    auc=any_float,
+    advantage=any_float,
+    accuracy=any_float,
+    mean_member_loss=any_float,
+    mean_nonmember_loss=any_float,
+    members=st.integers(min_value=1, max_value=10_000),
+    nonmembers=st.integers(min_value=1, max_value=10_000),
+)
+
+round_results = st.builds(
+    RoundResult,
+    round_index=st.integers(min_value=0, max_value=100_000),
+    selected_clients=client_lists,
+    mean_loss=any_float,
+    mean_gradient_norm=any_float,
+    mean_time_per_iteration_ms=any_float,
+    metadata=st.dictionaries(st.text(max_size=12), any_float, max_size=4),
+    participating_clients=client_lists,
+    dropped_clients=client_lists,
+    straggler_clients=client_lists,
+    offline_clients=client_lists,
+    attacks=st.lists(attack_records, max_size=3),
+    mia=st.lists(mia_records, max_size=3),
+)
+
+
+def _refuse_constant(token):
+    raise AssertionError(f"bare non-finite token {token!r} leaked into the JSON text")
+
+
+def _nan_equal(expected, actual) -> bool:
+    """Recursive equality treating NaN == NaN (plain == treats them unequal)."""
+    if isinstance(expected, float) and isinstance(actual, float):
+        if math.isnan(expected) or math.isnan(actual):
+            return math.isnan(expected) and math.isnan(actual)
+        return expected == actual
+    if isinstance(expected, dict):
+        return isinstance(actual, dict) and sorted(expected) == sorted(actual) and all(
+            _nan_equal(expected[key], actual[key]) for key in expected
+        )
+    if isinstance(expected, (list, tuple)):
+        return (
+            isinstance(actual, (list, tuple))
+            and len(expected) == len(actual)
+            and all(_nan_equal(e, a) for e, a in zip(expected, actual))
+        )
+    return expected == actual
+
+
+@settings(max_examples=200, deadline=None)
+@given(round_results)
+def test_round_payload_is_strict_json_and_round_trips(result):
+    payload = round_result_to_payload(result)
+    # strict emission: allow_nan=False raises on any bare NaN/Infinity value
+    text = json.dumps(payload, allow_nan=False)
+    # strict parsing: a consumer that refuses the Python-only tokens succeeds
+    reparsed = json.loads(text, parse_constant=_refuse_constant)
+    rebuilt = round_result_from_payload(reparsed)
+    assert _nan_equal(asdict(result), asdict(rebuilt))
+
+
+@settings(max_examples=100, deadline=None)
+@given(round_results)
+def test_round_payload_omits_empty_optional_keys(result):
+    payload = round_result_to_payload(result)
+    assert ("attacks" in payload) == bool(result.attacks)
+    assert ("mia" in payload) == bool(result.mia)
+    assert ("offline_clients" in payload) == bool(result.offline_clients)
+
+
+def test_legacy_null_conventions_are_preserved():
+    """NaN loss and infinite PSNR keep their historical ``null`` encoding."""
+    result = RoundResult(
+        round_index=0,
+        selected_clients=[0],
+        mean_loss=float("nan"),
+        mean_gradient_norm=1.0,
+        mean_time_per_iteration_ms=2.0,
+        attacks=[
+            AttackRecord(
+                client_id=0,
+                mse=0.0,
+                psnr=float("inf"),
+                success=True,
+                iterations=1,
+                final_loss=0.0,
+                best_restart=0,
+                restarts=1,
+            )
+        ],
+    )
+    payload = round_result_to_payload(result)
+    assert payload["mean_loss"] is None
+    assert payload["attacks"][0]["psnr"] is None
+    rebuilt = round_result_from_payload(json.loads(json.dumps(payload, allow_nan=False)))
+    assert math.isnan(rebuilt.mean_loss)
+    assert rebuilt.attacks[0].psnr == float("inf")
+
+
+def test_diverging_attack_metrics_round_trip_through_a_spool(tmp_path):
+    """Extreme values survive the spool's write-then-read-back path."""
+    from repro.federated.history import RoundSpool
+
+    result = RoundResult(
+        round_index=3,
+        selected_clients=[1, 2],
+        mean_loss=float("inf"),
+        mean_gradient_norm=float("nan"),
+        mean_time_per_iteration_ms=float("-inf"),
+        metadata={"clipping_bound": float("nan")},
+        participating_clients=[1],
+        offline_clients=[2],
+        attacks=[
+            AttackRecord(
+                client_id=1,
+                mse=float("inf"),
+                psnr=float("-inf"),
+                success=False,
+                iterations=9,
+                final_loss=float("nan"),
+                best_restart=0,
+                restarts=2,
+            )
+        ],
+    )
+    spool = RoundSpool(str(tmp_path / "spool.jsonl"), tail_window=1)
+    spool.append(result)
+    spool.append(result)  # force a disk read-back of round 0 (tail window 1)
+    rebuilt = spool[0]
+    assert _nan_equal(asdict(result), asdict(rebuilt))
+    # the spool file itself is strict JSONL
+    with open(spool.path) as handle:
+        for line in handle:
+            json.loads(line, parse_constant=_refuse_constant)
+    spool.close()

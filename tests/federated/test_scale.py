@@ -163,6 +163,114 @@ def test_spooled_checkpoint_resume_is_exact(tmp_path):
     assert _scrub_timings(lazy_payload) == reference
 
 
+def test_resume_onto_same_spool_path_does_not_truncate(tmp_path):
+    """Regression: resuming with ``history_spool=`` pointing at the *same*
+    path the interrupted run used must rebuild the full spool, not race two
+    truncating write handles on one file (the constructor used to open its
+    own spool before ``load_state_dict`` opened the real one)."""
+    config = quick_config("adult", "nonprivate", **BASE)
+    reference = _run_history_dict(config)
+
+    spool_path = str(tmp_path / "rounds.jsonl")
+    checkpoint = str(tmp_path / "ck.json")
+    with FederatedSimulation(config, history_spool=spool_path, history_tail=1) as simulation:
+        simulation.run(rounds=2, checkpoint_path=checkpoint)
+
+    resumed = FederatedSimulation.from_checkpoint(
+        checkpoint, history_spool=spool_path, history_tail=1
+    )
+    with resumed:
+        history = resumed.run()
+    payload = history.to_dict()
+    for key in ("client_state", "executor", "num_workers", "worker_chunk_size"):
+        payload["config"].pop(key, None)
+    assert _scrub_timings(payload) == reference
+    # the rebuilt spool carries the complete run: restored prefix + new rounds
+    with open(spool_path) as handle:
+        lines = [json.loads(line) for line in handle]
+    assert len(lines) == config.rounds
+    assert [line["round_index"] for line in lines] == list(range(config.rounds))
+
+
+def test_failed_restore_leaves_existing_spool_intact(tmp_path):
+    """Regression: a malformed checkpoint must not destroy a previous run's
+    spool file — the restore must fail *before* any spool is (re)opened."""
+    import pytest
+
+    config = quick_config("adult", "nonprivate", **BASE)
+    spool_path = str(tmp_path / "rounds.jsonl")
+    checkpoint = str(tmp_path / "ck.json")
+    with FederatedSimulation(config, history_spool=spool_path, history_tail=1) as simulation:
+        simulation.run(checkpoint_path=checkpoint)
+    with open(spool_path) as handle:
+        original_spool = handle.read()
+    assert original_spool  # the completed run left a non-empty spool
+
+    with open(checkpoint) as handle:
+        state = json.load(handle)
+
+    # corruption 1: unsupported format marker
+    bad_format = dict(state, format="not-a-real-format")
+    bad_path = str(tmp_path / "bad.json")
+    with open(bad_path, "w") as handle:
+        json.dump(bad_format, handle)
+    with pytest.raises(ValueError, match="unsupported checkpoint format"):
+        FederatedSimulation.from_checkpoint(bad_path, history_spool=spool_path)
+    with open(spool_path) as handle:
+        assert handle.read() == original_spool
+
+    # corruption 2: a mangled history payload (missing required round fields)
+    bad_history = json.loads(json.dumps(state))
+    bad_history["history"]["rounds"][0] = {"round_index": 0}
+    with open(bad_path, "w") as handle:
+        json.dump(bad_history, handle)
+    with pytest.raises(Exception):
+        FederatedSimulation.from_checkpoint(bad_path, history_spool=spool_path)
+    with open(spool_path) as handle:
+        assert handle.read() == original_spool
+
+
+# ----------------------------------------------------------------------
+# Population dynamics: numerics-neutrality across backends and resume
+# ----------------------------------------------------------------------
+DYNAMICS = dict(
+    availability_cycle=0.6,
+    availability_period=3,
+    churn_rate=0.3,
+    straggler_deadline=2.0,
+    device_classes=(0.5, 1.0, 2.0),
+    drift_rate=0.2,
+)
+
+
+def test_population_dynamics_eager_matches_lazy():
+    config = quick_config("adult", "fed_cdp", **BASE, **DYNAMICS)
+    eager = _run_history_dict(config.with_overrides(client_state="eager"))
+    lazy = _run_history_dict(config.with_overrides(client_state="lazy"))
+    assert eager == lazy
+    assert sum(len(r.get("offline_clients", [])) for r in eager["rounds"]) > 0
+
+
+def test_population_dynamics_serial_matches_multiprocessing_and_resume(tmp_path):
+    config = quick_config("adult", "fed_cdp", client_state="lazy", **BASE, **DYNAMICS)
+    serial = _run_history_dict(config)
+    parallel = _run_history_dict(
+        config.with_overrides(executor="multiprocessing", num_workers=2)
+    )
+    assert serial == parallel
+
+    checkpoint = str(tmp_path / "ck.json")
+    with FederatedSimulation(config) as simulation:
+        simulation.run(rounds=2, checkpoint_path=checkpoint)
+    resumed = FederatedSimulation.from_checkpoint(checkpoint)
+    with resumed:
+        history = resumed.run()
+    payload = history.to_dict()
+    for key in ("client_state", "executor", "num_workers", "worker_chunk_size"):
+        payload["config"].pop(key, None)
+    assert _scrub_timings(payload) == serial
+
+
 # ----------------------------------------------------------------------
 # Bounded memory at cross-device scale
 # ----------------------------------------------------------------------
